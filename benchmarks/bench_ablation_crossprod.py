@@ -1,0 +1,35 @@
+"""Ablation: naive (Algorithm 1) versus efficient (Algorithm 2) cross-product.
+
+Section 3.3.5 argues that the efficient rewrite saves roughly half of the
+entity-side arithmetic (by using ``crossprod(S)``) and avoids the sparse
+transposed product ``K^T K`` (by using ``diag(colSums(K))``).  The appendix
+compares the two; this benchmark reproduces that comparison along with the
+materialized baseline.
+"""
+
+import pytest
+
+from _common import group_name, materialized_cache, pkfk_dataset, point_id
+
+POINTS = ((10, 2), (20, 4))
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestCrossprodAblation:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("ablation", "crossprod", point_id(point))
+        materialized = materialized_cache(*point)
+        benchmark.pedantic(lambda: materialized.T @ materialized, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized_naive(self, benchmark, point):
+        benchmark.group = group_name("ablation", "crossprod", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(lambda: normalized.crossprod("naive"), rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized_efficient(self, benchmark, point):
+        benchmark.group = group_name("ablation", "crossprod", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(lambda: normalized.crossprod("efficient"), rounds=3, iterations=1,
+                           warmup_rounds=1)

@@ -1,0 +1,37 @@
+"""Ablation: the two LMM multiplication orders (Section 3.3.3).
+
+``K (R X)`` computes the small product first and scatters it through the
+indicator matrix; ``(K R) X`` expands the join first, which reintroduces the
+very redundancy factorization is meant to avoid.  Both orders are logically
+equivalent; the benchmark shows the performance gap.
+"""
+
+import pytest
+
+from _common import group_name, lmm_operand, pkfk_dataset, point_id
+from repro.core.rewrite import multiplication
+
+POINTS = ((10, 2), (20, 4))
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestLMMOrderAblation:
+    def test_factorized_order(self, benchmark, point):
+        """K (R X): the order Morpheus uses."""
+        benchmark.group = group_name("ablation", "lmm-order", point_id(point))
+        dataset = pkfk_dataset(*point)
+        operand = lmm_operand(dataset.normalized.shape[1])
+        benchmark.pedantic(
+            lambda: multiplication.lmm_star(dataset.entity, dataset.indicators,
+                                            dataset.attributes, operand),
+            rounds=3, iterations=1, warmup_rounds=1)
+
+    def test_materializing_order(self, benchmark, point):
+        """(K R) X: logically equivalent but materializes part of the join."""
+        benchmark.group = group_name("ablation", "lmm-order", point_id(point))
+        dataset = pkfk_dataset(*point)
+        operand = lmm_operand(dataset.normalized.shape[1])
+        benchmark.pedantic(
+            lambda: multiplication.lmm_star_materialized_order(dataset.entity, dataset.indicators,
+                                                               dataset.attributes, operand),
+            rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,58 @@
+"""Section 5.1: evaluation of the heuristic decision rule.
+
+The paper tunes the thresholds (tau = 5 on the tuple ratio, rho = 1 on the
+feature ratio) conservatively on the synthetic operator sweeps: the rule may
+forgo small wins but should not miss large ones, and the region it selects for
+factorization should be the profitable region.  This benchmark measures the
+cross-product speed-up over a (TR, FR) grid (cross-product is the operator
+whose factorized win is most robust at laptop scale), evaluates the rule
+against the measurements and writes the outcome to
+``benchmarks/results/decision_rule.txt``.
+"""
+
+import pathlib
+
+from _common import group_name
+from repro.bench import experiments
+from repro.bench.reporting import format_speedup_grid, format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def test_decision_rule_confusion_matrix(benchmark):
+    experiment = next(e for e in experiments.pk_fk_operator_experiments()
+                      if e.name == "crossprod")
+
+    def run_sweep():
+        return experiments.run_pk_fk_operator_sweep(
+            experiment, tuple_ratios=(1, 2, 5, 10, 20), feature_ratios=(0.25, 0.5, 1, 2, 4),
+            num_attribute_rows=1_500, repeats=2)
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    counts = experiments.decision_rule_confusion(results)
+
+    grid = format_speedup_grid(results, row_key="feature_ratio", col_key="tuple_ratio")
+    table = format_table(["outcome", "count"], [[k, v] for k, v in counts.items()])
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "decision_rule.txt").write_text(
+        "Measured cross-product speed-up grid\n" + grid + "\n\nDecision-rule confusion counts\n"
+        + table + "\n")
+
+    total = sum(counts.values())
+    assert total == 25
+
+    # The rule must not miss any large win: every point with a measured
+    # speed-up of at least 2x must fall inside the factorize region.
+    for result in results:
+        if result.speedup >= 2.0:
+            assert result.parameters["tuple_ratio"] >= 5
+            assert result.parameters["feature_ratio"] >= 1
+
+    # The region the rule selects should be more profitable on average than
+    # the region it rejects (the separation the paper's thresholds encode).
+    chosen = [r.speedup for r in results
+              if r.parameters["tuple_ratio"] >= 5 and r.parameters["feature_ratio"] >= 1]
+    rejected = [r.speedup for r in results
+                if not (r.parameters["tuple_ratio"] >= 5 and r.parameters["feature_ratio"] >= 1)]
+    assert chosen and rejected
+    assert sum(chosen) / len(chosen) > sum(rejected) / len(rejected)

@@ -1,0 +1,92 @@
+"""Figure 10: K-Means and GNMF runtimes versus tuple ratio and feature ratio.
+
+Also covers Figures 5(c2)/5(d2): runtime versus the number of centroids
+(K-Means) and the number of topics (GNMF) at a fixed sweep point.
+"""
+
+import numpy as np
+import pytest
+
+from _common import group_name, pkfk_dataset, point_id
+from repro.ml import GNMF, KMeans
+
+POINTS = ((10, 2), (20, 4))
+CENTROID_COUNTS = (5, 10)
+TOPIC_COUNTS = (2, 5)
+ITERATIONS = 5
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestKMeansSweep:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig10", "kmeans", point_id(point))
+        dataset = pkfk_dataset(*point)
+        model = KMeans(num_clusters=5, max_iter=ITERATIONS, seed=0)
+        materialized = dataset.materialized
+        benchmark.pedantic(lambda: model.fit(materialized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig10", "kmeans", point_id(point))
+        dataset = pkfk_dataset(*point)
+        model = KMeans(num_clusters=5, max_iter=ITERATIONS, seed=0)
+        normalized = dataset.normalized
+        benchmark.pedantic(lambda: model.fit(normalized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+
+@pytest.mark.parametrize("centroids", CENTROID_COUNTS, ids=lambda k: f"k{k}")
+class TestKMeansCentroids:
+    def test_materialized(self, benchmark, centroids):
+        benchmark.group = group_name("fig10", "kmeans-centroids", centroids)
+        dataset = pkfk_dataset(10, 2)
+        materialized = dataset.materialized
+        model = KMeans(num_clusters=centroids, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(materialized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, centroids):
+        benchmark.group = group_name("fig10", "kmeans-centroids", centroids)
+        dataset = pkfk_dataset(10, 2)
+        normalized = dataset.normalized
+        model = KMeans(num_clusters=centroids, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(normalized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestGNMFSweep:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig10", "gnmf", point_id(point))
+        dataset = pkfk_dataset(*point)
+        materialized = np.abs(dataset.materialized)
+        model = GNMF(rank=5, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(materialized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig10", "gnmf", point_id(point))
+        dataset = pkfk_dataset(*point)
+        normalized = dataset.normalized.apply(np.abs)
+        model = GNMF(rank=5, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(normalized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+
+@pytest.mark.parametrize("topics", TOPIC_COUNTS, ids=lambda r: f"r{r}")
+class TestGNMFTopics:
+    def test_materialized(self, benchmark, topics):
+        benchmark.group = group_name("fig10", "gnmf-topics", topics)
+        dataset = pkfk_dataset(10, 2)
+        materialized = np.abs(dataset.materialized)
+        model = GNMF(rank=topics, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(materialized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, topics):
+        benchmark.group = group_name("fig10", "gnmf-topics", topics)
+        dataset = pkfk_dataset(10, 2)
+        normalized = dataset.normalized.apply(np.abs)
+        model = GNMF(rank=topics, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(normalized), rounds=2, iterations=1,
+                           warmup_rounds=0)

@@ -1,0 +1,82 @@
+"""Figures 11: M:N operator-level results for scalar and aggregation operators.
+
+The paper sweeps the number of tuples, the number of features and the
+join-attribute uniqueness degree; the dominant effect is the uniqueness
+degree, which we sweep here for scalar addition/multiplication, rowSums,
+colSums and sum.
+"""
+
+import pytest
+
+from _common import MN_UNIQUENESS_POINTS, group_name, mn_dataset
+
+
+def _degree_id(degree):
+    return f"nU{degree:g}"
+
+
+@pytest.mark.parametrize("degree", MN_UNIQUENESS_POINTS, ids=_degree_id)
+class TestMNScalarAddition:
+    def test_materialized(self, benchmark, degree):
+        benchmark.group = group_name("fig11", "scalar-add", _degree_id(degree))
+        materialized = mn_dataset(degree).materialized
+        benchmark.pedantic(lambda: materialized + 3.0, rounds=3, iterations=1, warmup_rounds=1)
+
+    def test_factorized(self, benchmark, degree):
+        benchmark.group = group_name("fig11", "scalar-add", _degree_id(degree))
+        normalized = mn_dataset(degree).normalized
+        benchmark.pedantic(lambda: normalized + 3.0, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("degree", MN_UNIQUENESS_POINTS, ids=_degree_id)
+class TestMNScalarMultiplication:
+    def test_materialized(self, benchmark, degree):
+        benchmark.group = group_name("fig11", "scalar-mult", _degree_id(degree))
+        materialized = mn_dataset(degree).materialized
+        benchmark.pedantic(lambda: materialized * 3.0, rounds=3, iterations=1, warmup_rounds=1)
+
+    def test_factorized(self, benchmark, degree):
+        benchmark.group = group_name("fig11", "scalar-mult", _degree_id(degree))
+        normalized = mn_dataset(degree).normalized
+        benchmark.pedantic(lambda: normalized * 3.0, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("degree", MN_UNIQUENESS_POINTS, ids=_degree_id)
+class TestMNRowSums:
+    def test_materialized(self, benchmark, degree):
+        benchmark.group = group_name("fig11", "rowsums", _degree_id(degree))
+        materialized = mn_dataset(degree).materialized
+        benchmark.pedantic(lambda: materialized.sum(axis=1), rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, degree):
+        benchmark.group = group_name("fig11", "rowsums", _degree_id(degree))
+        normalized = mn_dataset(degree).normalized
+        benchmark.pedantic(normalized.rowsums, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("degree", MN_UNIQUENESS_POINTS, ids=_degree_id)
+class TestMNColSums:
+    def test_materialized(self, benchmark, degree):
+        benchmark.group = group_name("fig11", "colsums", _degree_id(degree))
+        materialized = mn_dataset(degree).materialized
+        benchmark.pedantic(lambda: materialized.sum(axis=0), rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, degree):
+        benchmark.group = group_name("fig11", "colsums", _degree_id(degree))
+        normalized = mn_dataset(degree).normalized
+        benchmark.pedantic(normalized.colsums, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("degree", MN_UNIQUENESS_POINTS, ids=_degree_id)
+class TestMNSum:
+    def test_materialized(self, benchmark, degree):
+        benchmark.group = group_name("fig11", "sum", _degree_id(degree))
+        materialized = mn_dataset(degree).materialized
+        benchmark.pedantic(lambda: materialized.sum(), rounds=3, iterations=1, warmup_rounds=1)
+
+    def test_factorized(self, benchmark, degree):
+        benchmark.group = group_name("fig11", "sum", _degree_id(degree))
+        normalized = mn_dataset(degree).normalized
+        benchmark.pedantic(normalized.total_sum, rounds=3, iterations=1, warmup_rounds=1)

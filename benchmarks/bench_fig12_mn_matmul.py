@@ -1,0 +1,57 @@
+"""Figure 12: M:N operator-level results for LMM, RMM and cross-product."""
+
+import pytest
+
+from _common import MN_UNIQUENESS_POINTS, group_name, lmm_operand, mn_dataset, rmm_operand
+
+
+def _degree_id(degree):
+    return f"nU{degree:g}"
+
+
+@pytest.mark.parametrize("degree", MN_UNIQUENESS_POINTS, ids=_degree_id)
+class TestMNLMM:
+    def test_materialized(self, benchmark, degree):
+        benchmark.group = group_name("fig12", "lmm", _degree_id(degree))
+        materialized = mn_dataset(degree).materialized
+        operand = lmm_operand(materialized.shape[1])
+        benchmark.pedantic(lambda: materialized @ operand, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, degree):
+        benchmark.group = group_name("fig12", "lmm", _degree_id(degree))
+        normalized = mn_dataset(degree).normalized
+        operand = lmm_operand(normalized.shape[1])
+        benchmark.pedantic(lambda: normalized @ operand, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+
+@pytest.mark.parametrize("degree", MN_UNIQUENESS_POINTS, ids=_degree_id)
+class TestMNRMM:
+    def test_materialized(self, benchmark, degree):
+        benchmark.group = group_name("fig12", "rmm", _degree_id(degree))
+        materialized = mn_dataset(degree).materialized
+        operand = rmm_operand(materialized.shape[0])
+        benchmark.pedantic(lambda: operand @ materialized, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, degree):
+        benchmark.group = group_name("fig12", "rmm", _degree_id(degree))
+        normalized = mn_dataset(degree).normalized
+        operand = rmm_operand(normalized.shape[0])
+        benchmark.pedantic(lambda: operand @ normalized, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+
+@pytest.mark.parametrize("degree", MN_UNIQUENESS_POINTS, ids=_degree_id)
+class TestMNCrossprod:
+    def test_materialized(self, benchmark, degree):
+        benchmark.group = group_name("fig12", "crossprod", _degree_id(degree))
+        materialized = mn_dataset(degree).materialized
+        benchmark.pedantic(lambda: materialized.T @ materialized, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, degree):
+        benchmark.group = group_name("fig12", "crossprod", _degree_id(degree))
+        normalized = mn_dataset(degree).normalized
+        benchmark.pedantic(normalized.crossprod, rounds=3, iterations=1, warmup_rounds=1)

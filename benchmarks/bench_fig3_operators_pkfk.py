@@ -1,0 +1,104 @@
+"""Figure 3: speed-ups of factorized LA operators for a PK-FK join.
+
+The paper's Figure 3 shows speed-up heat maps over the (tuple ratio, feature
+ratio) grid for four key operators: scalar multiplication, LMM, cross-product
+and pseudo-inverse.  Each parameter point below benchmarks the materialized
+("M") and Morpheus-factorized ("F") versions back to back; the speed-up is the
+ratio of the two rows in the pytest-benchmark group.  A full grid sweep is
+also timed once and written to ``benchmarks/results/fig3_grid.txt`` in the
+same layout as the paper's heat maps.
+"""
+
+import pathlib
+
+import pytest
+
+from _common import (
+    PKFK_POINTS,
+    group_name,
+    lmm_operand,
+    materialized_cache,
+    pkfk_dataset,
+    point_id,
+)
+from repro.bench import experiments
+from repro.bench.reporting import format_speedup_grid
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.mark.parametrize("point", PKFK_POINTS, ids=point_id)
+class TestScalarMultiplication:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig3", "scalar-mult", point_id(point))
+        materialized = materialized_cache(*point)
+        benchmark.pedantic(lambda: materialized * 3.0, rounds=5, iterations=1, warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig3", "scalar-mult", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(lambda: normalized * 3.0, rounds=5, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("point", PKFK_POINTS, ids=point_id)
+class TestLMM:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig3", "lmm", point_id(point))
+        materialized = materialized_cache(*point)
+        operand = lmm_operand(materialized.shape[1])
+        benchmark.pedantic(lambda: materialized @ operand, rounds=5, iterations=1, warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig3", "lmm", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        operand = lmm_operand(normalized.shape[1])
+        benchmark.pedantic(lambda: normalized @ operand, rounds=5, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("point", PKFK_POINTS, ids=point_id)
+class TestCrossprod:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig3", "crossprod", point_id(point))
+        materialized = materialized_cache(*point)
+        benchmark.pedantic(lambda: materialized.T @ materialized, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig3", "crossprod", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(normalized.crossprod, rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("point", PKFK_POINTS[-2:], ids=point_id)
+class TestPseudoInverse:
+    """Restricted to the two most redundant points; pinv dominates the suite otherwise."""
+
+    def test_materialized(self, benchmark, point):
+        import numpy as np
+
+        benchmark.group = group_name("fig3", "pseudoinverse", point_id(point))
+        materialized = materialized_cache(*point)
+        benchmark.pedantic(lambda: np.linalg.pinv(materialized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig3", "pseudoinverse", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(normalized.ginv, rounds=2, iterations=1, warmup_rounds=0)
+
+
+def test_fig3_grid_report(benchmark):
+    """Regenerate the Figure 3 speed-up grid for LMM and write it to results/."""
+    experiment = next(e for e in experiments.pk_fk_operator_experiments() if e.name == "lmm")
+
+    def run_sweep():
+        return experiments.run_pk_fk_operator_sweep(
+            experiment, tuple_ratios=(2, 5, 10, 20), feature_ratios=(0.5, 1, 2, 4),
+            num_attribute_rows=1_000, repeats=1)
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    grid = format_speedup_grid(results, row_key="feature_ratio", col_key="tuple_ratio")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "fig3_grid.txt").write_text(
+        "Figure 3 (LMM): factorized-over-materialized speed-ups\n" + grid + "\n")
+    assert len(results) == 16

@@ -1,0 +1,42 @@
+"""Figure 4: LMM and cross-product runtimes for an M:N join.
+
+The paper varies the join-attribute uniqueness degree ``n_U / n_S`` from 0.01
+to 0.5 and shows that the factorized versions become up to two orders of
+magnitude faster as the join fans out.  Each uniqueness point benchmarks the
+materialized and factorized versions of LMM and cross-product.
+"""
+
+import pytest
+
+from _common import MN_UNIQUENESS_POINTS, group_name, lmm_operand, mn_dataset
+
+
+@pytest.mark.parametrize("degree", MN_UNIQUENESS_POINTS, ids=lambda d: f"nU{d:g}")
+class TestMNLMM:
+    def test_materialized(self, benchmark, degree):
+        benchmark.group = group_name("fig4", "lmm", f"nU={degree:g}")
+        materialized = mn_dataset(degree).materialized
+        operand = lmm_operand(materialized.shape[1])
+        benchmark.pedantic(lambda: materialized @ operand, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, degree):
+        benchmark.group = group_name("fig4", "lmm", f"nU={degree:g}")
+        normalized = mn_dataset(degree).normalized
+        operand = lmm_operand(normalized.shape[1])
+        benchmark.pedantic(lambda: normalized @ operand, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+
+@pytest.mark.parametrize("degree", MN_UNIQUENESS_POINTS, ids=lambda d: f"nU{d:g}")
+class TestMNCrossprod:
+    def test_materialized(self, benchmark, degree):
+        benchmark.group = group_name("fig4", "crossprod", f"nU={degree:g}")
+        materialized = mn_dataset(degree).materialized
+        benchmark.pedantic(lambda: materialized.T @ materialized, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, degree):
+        benchmark.group = group_name("fig4", "crossprod", f"nU={degree:g}")
+        normalized = mn_dataset(degree).normalized
+        benchmark.pedantic(normalized.crossprod, rounds=3, iterations=1, warmup_rounds=1)

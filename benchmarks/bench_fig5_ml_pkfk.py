@@ -1,0 +1,95 @@
+"""Figure 5: the four ML algorithms on synthetic PK-FK data.
+
+Row 1 of the paper's Figure 5 covers logistic regression and normal-equation
+linear regression; row 2 covers K-Means and GNMF.  For each algorithm we
+benchmark the materialized and factorized runs at two (TR, FR) sweep points
+with a fixed number of iterations, mirroring the paper's setup (the iteration
+count is reduced so the suite stays fast; speed-ups are per-iteration anyway).
+"""
+
+import numpy as np
+import pytest
+
+from _common import group_name, pkfk_dataset, point_id
+from repro.ml import GNMF, KMeans, LinearRegressionNE, LogisticRegressionGD
+
+POINTS = ((10, 2), (20, 4))
+ITERATIONS = 5
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestLogisticRegression:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig5", "logreg", point_id(point))
+        dataset = pkfk_dataset(*point)
+        materialized = dataset.materialized
+        model = LogisticRegressionGD(max_iter=ITERATIONS, step_size=1e-4)
+        benchmark.pedantic(lambda: model.fit(materialized, dataset.target),
+                           rounds=2, iterations=1, warmup_rounds=0)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig5", "logreg", point_id(point))
+        dataset = pkfk_dataset(*point)
+        normalized = dataset.normalized
+        model = LogisticRegressionGD(max_iter=ITERATIONS, step_size=1e-4)
+        benchmark.pedantic(lambda: model.fit(normalized, dataset.target),
+                           rounds=2, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestLinearRegressionNormalEquations:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig5", "linreg-ne", point_id(point))
+        dataset = pkfk_dataset(*point)
+        materialized = dataset.materialized
+        target = np.asarray(dataset.target, dtype=np.float64)
+        model = LinearRegressionNE()
+        benchmark.pedantic(lambda: model.fit(materialized, target),
+                           rounds=2, iterations=1, warmup_rounds=0)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig5", "linreg-ne", point_id(point))
+        dataset = pkfk_dataset(*point)
+        normalized = dataset.normalized
+        target = np.asarray(dataset.target, dtype=np.float64)
+        model = LinearRegressionNE()
+        benchmark.pedantic(lambda: model.fit(normalized, target),
+                           rounds=2, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestKMeans:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig5", "kmeans", point_id(point))
+        dataset = pkfk_dataset(*point)
+        materialized = dataset.materialized
+        model = KMeans(num_clusters=5, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(materialized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig5", "kmeans", point_id(point))
+        dataset = pkfk_dataset(*point)
+        normalized = dataset.normalized
+        model = KMeans(num_clusters=5, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(normalized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestGNMF:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig5", "gnmf", point_id(point))
+        dataset = pkfk_dataset(*point)
+        materialized = np.abs(dataset.materialized)
+        model = GNMF(rank=5, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(materialized), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig5", "gnmf", point_id(point))
+        dataset = pkfk_dataset(*point)
+        normalized = dataset.normalized.apply(np.abs)
+        model = GNMF(rank=5, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(normalized), rounds=2, iterations=1,
+                           warmup_rounds=0)

@@ -1,0 +1,82 @@
+"""Figure 6: the remaining element-wise and aggregation operators for PK-FK joins.
+
+The paper's Figure 6 covers scalar addition, RMM, row summation, column
+summation and full summation over the same (TR, FR) sweep as Figure 3.
+"""
+
+import pytest
+
+from _common import PKFK_POINTS, group_name, materialized_cache, pkfk_dataset, point_id, rmm_operand
+
+POINTS = PKFK_POINTS[1:]  # skip the least redundant corner to keep the suite fast
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestScalarAddition:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig6", "scalar-add", point_id(point))
+        materialized = materialized_cache(*point)
+        benchmark.pedantic(lambda: materialized + 3.0, rounds=5, iterations=1, warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig6", "scalar-add", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(lambda: normalized + 3.0, rounds=5, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestRMM:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig6", "rmm", point_id(point))
+        materialized = materialized_cache(*point)
+        operand = rmm_operand(materialized.shape[0])
+        benchmark.pedantic(lambda: operand @ materialized, rounds=5, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig6", "rmm", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        operand = rmm_operand(normalized.shape[0])
+        benchmark.pedantic(lambda: operand @ normalized, rounds=5, iterations=1,
+                           warmup_rounds=1)
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestRowSums:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig6", "rowsums", point_id(point))
+        materialized = materialized_cache(*point)
+        benchmark.pedantic(lambda: materialized.sum(axis=1), rounds=5, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig6", "rowsums", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(normalized.rowsums, rounds=5, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestColSums:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig6", "colsums", point_id(point))
+        materialized = materialized_cache(*point)
+        benchmark.pedantic(lambda: materialized.sum(axis=0), rounds=5, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig6", "colsums", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(normalized.colsums, rounds=5, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestFullSum:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig6", "sum", point_id(point))
+        materialized = materialized_cache(*point)
+        benchmark.pedantic(lambda: materialized.sum(), rounds=5, iterations=1, warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig6", "sum", point_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(normalized.total_sum, rounds=5, iterations=1, warmup_rounds=1)

@@ -1,0 +1,63 @@
+"""Figure 7: absolute runtimes of scalar multiplication, LMM, cross-product and
+pseudo-inverse while varying one axis at a time.
+
+The paper's Figure 7 plots runtimes (not just speed-ups) as the tuple ratio
+varies with a fixed feature ratio, and vice versa.  We benchmark the
+materialized and factorized versions along the tuple-ratio axis at FR = 2 and
+along the feature-ratio axis at TR = 10.
+"""
+
+import pytest
+
+from _common import group_name, lmm_operand, materialized_cache, pkfk_dataset
+
+TR_AXIS = ((2, 2), (10, 2), (20, 2))
+FR_AXIS = ((10, 0.5), (10, 2), (10, 4))
+
+
+def _axis_id(point):
+    return f"TR{point[0]:g}-FR{point[1]:g}"
+
+
+@pytest.mark.parametrize("point", TR_AXIS + FR_AXIS, ids=_axis_id)
+class TestScalarMultiplicationRuntime:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig7", "scalar-mult", _axis_id(point))
+        materialized = materialized_cache(*point)
+        benchmark.pedantic(lambda: materialized * 2.0, rounds=5, iterations=1, warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig7", "scalar-mult", _axis_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(lambda: normalized * 2.0, rounds=5, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("point", TR_AXIS + FR_AXIS, ids=_axis_id)
+class TestLMMRuntime:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig7", "lmm", _axis_id(point))
+        materialized = materialized_cache(*point)
+        operand = lmm_operand(materialized.shape[1])
+        benchmark.pedantic(lambda: materialized @ operand, rounds=5, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig7", "lmm", _axis_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        operand = lmm_operand(normalized.shape[1])
+        benchmark.pedantic(lambda: normalized @ operand, rounds=5, iterations=1,
+                           warmup_rounds=1)
+
+
+@pytest.mark.parametrize("point", FR_AXIS, ids=_axis_id)
+class TestCrossprodRuntime:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig7", "crossprod", _axis_id(point))
+        materialized = materialized_cache(*point)
+        benchmark.pedantic(lambda: materialized.T @ materialized, rounds=3, iterations=1,
+                           warmup_rounds=1)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig7", "crossprod", _axis_id(point))
+        normalized = pkfk_dataset(*point).normalized
+        benchmark.pedantic(normalized.crossprod, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,59 @@
+"""Figure 8: linear regression trained with gradient descent (Appendix G).
+
+The paper varies the tuple ratio, the feature ratio and the number of
+iterations; the runtime is dominated by one LMM and one transposed LMM per
+iteration, so the speed-up tracks Figure 3(b).
+"""
+
+import numpy as np
+import pytest
+
+from _common import group_name, pkfk_dataset, point_id
+from repro.ml import LinearRegressionGD
+
+POINTS = ((10, 2), (20, 4))
+ITERATION_COUNTS = (5, 10)
+
+
+@pytest.mark.parametrize("point", POINTS, ids=point_id)
+class TestLinearRegressionGDSweep:
+    def test_materialized(self, benchmark, point):
+        benchmark.group = group_name("fig8", "linreg-gd", point_id(point))
+        dataset = pkfk_dataset(*point)
+        materialized = dataset.materialized
+        target = np.asarray(dataset.target, dtype=np.float64)
+        model = LinearRegressionGD(max_iter=5, step_size=1e-6)
+        benchmark.pedantic(lambda: model.fit(materialized, target), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, point):
+        benchmark.group = group_name("fig8", "linreg-gd", point_id(point))
+        dataset = pkfk_dataset(*point)
+        normalized = dataset.normalized
+        target = np.asarray(dataset.target, dtype=np.float64)
+        model = LinearRegressionGD(max_iter=5, step_size=1e-6)
+        benchmark.pedantic(lambda: model.fit(normalized, target), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+
+@pytest.mark.parametrize("iterations", ITERATION_COUNTS, ids=lambda i: f"iters{i}")
+class TestLinearRegressionGDIterations:
+    """Runtime grows linearly with the iteration count for both variants."""
+
+    def test_materialized(self, benchmark, iterations):
+        benchmark.group = group_name("fig8", "linreg-gd-iters", iterations)
+        dataset = pkfk_dataset(10, 2)
+        materialized = dataset.materialized
+        target = np.asarray(dataset.target, dtype=np.float64)
+        model = LinearRegressionGD(max_iter=iterations, step_size=1e-6)
+        benchmark.pedantic(lambda: model.fit(materialized, target), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, iterations):
+        benchmark.group = group_name("fig8", "linreg-gd-iters", iterations)
+        dataset = pkfk_dataset(10, 2)
+        normalized = dataset.normalized
+        target = np.asarray(dataset.target, dtype=np.float64)
+        model = LinearRegressionGD(max_iter=iterations, step_size=1e-6)
+        benchmark.pedantic(lambda: model.fit(normalized, target), rounds=2, iterations=1,
+                           warmup_rounds=0)

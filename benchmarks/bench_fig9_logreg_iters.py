@@ -1,0 +1,31 @@
+"""Figure 9: logistic regression runtime versus the number of iterations.
+
+Runtime should grow linearly with the iteration count for both the
+materialized and factorized versions, with a constant per-iteration speed-up.
+"""
+
+import pytest
+
+from _common import group_name, pkfk_dataset
+from repro.ml import LogisticRegressionGD
+
+ITERATION_COUNTS = (5, 10, 20)
+
+
+@pytest.mark.parametrize("iterations", ITERATION_COUNTS, ids=lambda i: f"iters{i}")
+class TestLogisticIterations:
+    def test_materialized(self, benchmark, iterations):
+        benchmark.group = group_name("fig9", "logreg-iters", iterations)
+        dataset = pkfk_dataset(10, 2)
+        materialized = dataset.materialized
+        model = LogisticRegressionGD(max_iter=iterations, step_size=1e-4)
+        benchmark.pedantic(lambda: model.fit(materialized, dataset.target), rounds=2,
+                           iterations=1, warmup_rounds=0)
+
+    def test_factorized(self, benchmark, iterations):
+        benchmark.group = group_name("fig9", "logreg-iters", iterations)
+        dataset = pkfk_dataset(10, 2)
+        normalized = dataset.normalized
+        model = LogisticRegressionGD(max_iter=iterations, step_size=1e-4)
+        benchmark.pedantic(lambda: model.fit(normalized, dataset.target), rounds=2,
+                           iterations=1, warmup_rounds=0)

@@ -1,0 +1,69 @@
+"""Table 3 / Table 11: the analytic cost model versus measured speed-ups.
+
+The paper's Table 3 gives the arithmetic-operation counts of the standard and
+factorized operators; Table 11 gives the asymptotic speed-ups.  This benchmark
+measures the actual operator speed-ups at one strongly redundant sweep point
+and writes a comparison of predicted versus measured speed-up to
+``benchmarks/results/table3_cost_model.txt``.  Absolute agreement is not
+expected (the model counts flops, not memory traffic), but the ordering and
+rough magnitudes should line up.
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from _common import lmm_operand, materialized_cache, pkfk_dataset
+from repro.bench.harness import compare
+from repro.bench.reporting import format_table
+from repro.core.cost import CostModel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+POINT = (20, 4)
+
+
+def test_table3_predicted_vs_measured(benchmark):
+    dataset = pkfk_dataset(*POINT)
+    materialized = materialized_cache(*POINT)
+    normalized = dataset.normalized
+    operand = lmm_operand(materialized.shape[1])
+    model = CostModel(
+        n_s=materialized.shape[0], d_s=normalized.entity_width,
+        attribute_dims=[(r.shape[0], r.shape[1]) for r in normalized.attributes],
+    )
+
+    def run_all():
+        rows = []
+        measurements = {
+            "scalar": compare(lambda: materialized * 2.0, lambda: normalized * 2.0,
+                              {"op": 0}, repeats=3),
+            "lmm": compare(lambda: materialized @ operand, lambda: normalized @ operand,
+                           {"op": 1}, repeats=3),
+            "crossprod": compare(lambda: materialized.T @ materialized, normalized.crossprod,
+                                 {"op": 2}, repeats=2),
+        }
+        predictions = model.summary()
+        for name, measured in measurements.items():
+            rows.append([name, f"{predictions[name]:.1f}x", f"{measured.speedup:.1f}x"])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = format_table(["operator", "predicted speedup", "measured speedup"], rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "table3_cost_model.txt").write_text(
+        f"Table 3 cost-model validation at TR={POINT[0]}, FR={POINT[1]}\n{table}\n")
+    assert len(rows) == 3
+
+
+def test_table3_cost_model_predicts_crossprod_largest(benchmark):
+    """Table 11: cross-product has the largest asymptotic speed-up (quadratic in d)."""
+    dataset = pkfk_dataset(*POINT)
+    normalized = dataset.normalized
+    model = CostModel(
+        n_s=normalized.logical_rows, d_s=normalized.entity_width,
+        attribute_dims=[(r.shape[0], r.shape[1]) for r in normalized.attributes],
+    )
+    summary = benchmark.pedantic(model.summary, rounds=1, iterations=1)
+    assert summary["crossprod"] > summary["lmm"]
+    assert summary["lmm"] == pytest.approx(summary["scalar"])

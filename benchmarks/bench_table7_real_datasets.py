@@ -1,0 +1,105 @@
+"""Table 7: ML runtimes and Morpheus speed-ups on the seven real datasets.
+
+The paper's Table 7 reports, for each of the seven multi-table datasets, the
+materialized runtime and the Morpheus speed-up of linear regression, logistic
+regression, K-Means and GNMF.  We use the synthetic stand-ins of
+:mod:`repro.datasets.realworld` (same schemas, scaled down -- see DESIGN.md)
+and benchmark the materialized and factorized runs of each algorithm.
+
+To keep the suite fast, per-dataset benchmarks cover logistic and linear
+regression on every dataset, while K-Means and GNMF run on a representative
+subset (Movies has the highest redundancy, Books the lowest).  A summary table
+with all four algorithms on all seven datasets is produced by
+``examples/real_datasets_study.py``.
+"""
+
+import numpy as np
+import pytest
+
+from _common import group_name, real_dataset
+from repro.ml import GNMF, KMeans, LinearRegressionNE, LogisticRegressionGD
+
+ALL_DATASETS = ("expedia", "movies", "yelp", "walmart", "lastfm", "books", "flights")
+SUBSET_DATASETS = ("movies", "books")
+SCALE = 0.01
+ITERATIONS = 5
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+class TestLogisticRegressionRealData:
+    def test_materialized(self, benchmark, name):
+        benchmark.group = group_name("table7", "logreg", name)
+        dataset = real_dataset(name, SCALE)
+        materialized = dataset.materialized
+        target = dataset.binary_target
+        model = LogisticRegressionGD(max_iter=ITERATIONS, step_size=1e-4)
+        benchmark.pedantic(lambda: model.fit(materialized, target), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, name):
+        benchmark.group = group_name("table7", "logreg", name)
+        dataset = real_dataset(name, SCALE)
+        normalized = dataset.normalized
+        target = dataset.binary_target
+        model = LogisticRegressionGD(max_iter=ITERATIONS, step_size=1e-4)
+        benchmark.pedantic(lambda: model.fit(normalized, target), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+
+@pytest.mark.parametrize("name", ALL_DATASETS)
+class TestLinearRegressionRealData:
+    def test_materialized(self, benchmark, name):
+        benchmark.group = group_name("table7", "linreg", name)
+        dataset = real_dataset(name, SCALE)
+        materialized = dataset.materialized
+        target = dataset.target
+        model = LinearRegressionNE()
+        benchmark.pedantic(lambda: model.fit(materialized, target), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, name):
+        benchmark.group = group_name("table7", "linreg", name)
+        dataset = real_dataset(name, SCALE)
+        normalized = dataset.normalized
+        target = dataset.target
+        model = LinearRegressionNE()
+        benchmark.pedantic(lambda: model.fit(normalized, target), rounds=2, iterations=1,
+                           warmup_rounds=0)
+
+
+@pytest.mark.parametrize("name", SUBSET_DATASETS)
+class TestKMeansRealData:
+    def test_materialized(self, benchmark, name):
+        benchmark.group = group_name("table7", "kmeans", name)
+        dataset = real_dataset(name, SCALE)
+        materialized = dataset.materialized
+        model = KMeans(num_clusters=10, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(materialized), rounds=1, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, name):
+        benchmark.group = group_name("table7", "kmeans", name)
+        dataset = real_dataset(name, SCALE)
+        normalized = dataset.normalized
+        model = KMeans(num_clusters=10, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(normalized), rounds=1, iterations=1,
+                           warmup_rounds=0)
+
+
+@pytest.mark.parametrize("name", SUBSET_DATASETS)
+class TestGNMFRealData:
+    def test_materialized(self, benchmark, name):
+        benchmark.group = group_name("table7", "gnmf", name)
+        dataset = real_dataset(name, SCALE)
+        materialized = abs(dataset.materialized)
+        model = GNMF(rank=5, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(materialized), rounds=1, iterations=1,
+                           warmup_rounds=0)
+
+    def test_factorized(self, benchmark, name):
+        benchmark.group = group_name("table7", "gnmf", name)
+        dataset = real_dataset(name, SCALE)
+        normalized = dataset.normalized.apply(np.abs)
+        model = GNMF(rank=5, max_iter=ITERATIONS, seed=0)
+        benchmark.pedantic(lambda: model.fit(normalized), rounds=1, iterations=1,
+                           warmup_rounds=0)

@@ -1,0 +1,61 @@
+"""M:N joins: how the join-attribute uniqueness degree drives the speed-ups.
+
+Section 3.6 and Figure 4 of the paper study general M:N equi-joins: as the
+join attribute's domain size ``n_U`` shrinks, every base tuple matches more
+tuples on the other side, the join output blows up and factorized execution
+wins by up to two orders of magnitude.  This example sweeps the uniqueness
+degree ``n_U / n_S`` and reports LMM and cross-product runtimes for the
+materialized and factorized versions, in the same layout as Figure 4.
+
+Run with::
+
+    python examples/mn_join_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import compare
+from repro.bench.reporting import format_speedup_rows, print_report
+from repro.datasets.synthetic import SyntheticMNConfig, generate_mn
+
+
+def sweep(uniqueness_degrees=(0.01, 0.05, 0.1, 0.25, 0.5), num_rows: int = 1_000,
+          num_features: int = 30):
+    lmm_results, crossprod_results = [], []
+    rng = np.random.default_rng(3)
+    for degree in uniqueness_degrees:
+        domain = max(1, int(round(degree * num_rows)))
+        dataset = generate_mn(SyntheticMNConfig(num_rows=num_rows, num_features=num_features,
+                                                domain_size=domain, seed=0))
+        materialized = dataset.materialized
+        normalized = dataset.normalized
+        operand = rng.standard_normal((materialized.shape[1], 2))
+        parameters = {"uniqueness_degree": degree, "output_rows": dataset.output_rows}
+        lmm_results.append(compare(
+            lambda m=materialized, x=operand: m @ x,
+            lambda n=normalized, x=operand: n @ x,
+            parameters, repeats=3))
+        crossprod_results.append(compare(
+            lambda m=materialized: m.T @ m,
+            lambda n=normalized: n.crossprod(),
+            parameters, repeats=2))
+    return lmm_results, crossprod_results
+
+
+def main() -> None:
+    lmm_results, crossprod_results = sweep()
+    print_report(
+        "Figure 4(a): LMM over an M:N join",
+        format_speedup_rows(lmm_results, ["uniqueness_degree", "output_rows"]))
+    print_report(
+        "Figure 4(b): cross-product over an M:N join",
+        format_speedup_rows(crossprod_results, ["uniqueness_degree", "output_rows"]))
+    best = max(r.speedup for r in crossprod_results)
+    print(f"largest cross-product speed-up in this sweep: {best:.1f}x "
+          "(grows further as the uniqueness degree shrinks or the tables grow)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Morpheus: factorized linear algebra over normalized data.
+
+A from-scratch Python reproduction of "Towards Linear Algebra over Normalized
+Data" (Chen, Kumar, Naughton, Patel; VLDB 2017).  The top-level namespace
+re-exports the public API most users need:
+
+>>> from repro import NormalizedMatrix, morpheus, LogisticRegressionGD
+>>> # build a normalized matrix from base-table matrices S, K, R ...
+>>> # and train any of the LA-based ML algorithms on it directly.
+
+See ``README.md`` for a quickstart and ``DESIGN.md`` for the system inventory.
+"""
+
+from repro.core import (
+    NormalizedMatrix,
+    MNNormalizedMatrix,
+    materialize,
+    morpheus,
+    should_factorize,
+    DecisionRule,
+)
+from repro.core.decision import morpheus_mn
+from repro.ml import (
+    LogisticRegressionGD,
+    LinearRegressionNE,
+    LinearRegressionGD,
+    LinearRegressionCofactor,
+    KMeans,
+    GNMF,
+)
+from repro.relational import Table, read_csv
+from repro.la import ChunkedMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NormalizedMatrix",
+    "MNNormalizedMatrix",
+    "materialize",
+    "morpheus",
+    "morpheus_mn",
+    "should_factorize",
+    "DecisionRule",
+    "LogisticRegressionGD",
+    "LinearRegressionNE",
+    "LinearRegressionGD",
+    "LinearRegressionCofactor",
+    "KMeans",
+    "GNMF",
+    "Table",
+    "read_csv",
+    "ChunkedMatrix",
+    "__version__",
+]

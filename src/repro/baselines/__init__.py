@@ -1,0 +1,28 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.materialized` -- helpers that run the standard
+  single-table ("M") versions of the ML algorithms, used by every benchmark's
+  denominator.
+* :mod:`repro.baselines.orion` -- a reimplementation of the ML
+  algorithm-specific factorized GLM of Kumar et al. (the "Orion" tool [26]),
+  which stores per-attribute-row partial inner products in an associative
+  array instead of expressing the factorization in LA.  It exists to reproduce
+  the Table 8 comparison: Morpheus should achieve comparable or better
+  speed-ups despite being generic.
+"""
+
+from repro.baselines.materialized import (
+    run_materialized_logistic,
+    run_materialized_linear_ne,
+    run_materialized_kmeans,
+    run_materialized_gnmf,
+)
+from repro.baselines.orion import OrionLogisticRegression
+
+__all__ = [
+    "run_materialized_logistic",
+    "run_materialized_linear_ne",
+    "run_materialized_kmeans",
+    "run_materialized_gnmf",
+    "OrionLogisticRegression",
+]

@@ -1,0 +1,36 @@
+"""Benchmark harness shared by the ``benchmarks/`` suite.
+
+The modules here contain no timing loops of their own (pytest-benchmark owns
+those); they provide the plumbing every experiment needs:
+
+* :mod:`repro.bench.harness` -- wall-clock measurement of a callable, speed-up
+  computation, and grid sweeps over (tuple ratio, feature ratio) or M:N
+  uniqueness degrees.
+* :mod:`repro.bench.reporting` -- plain-text table/series rendering so each
+  benchmark prints the same rows the paper's tables and figures report.
+* :mod:`repro.bench.experiments` -- the per-figure / per-table experiment
+  definitions (workloads, parameter grids, which operators or algorithms to
+  run), shared between the pytest benchmarks and the examples.
+"""
+
+from repro.bench.harness import (
+    TimingResult,
+    SpeedupResult,
+    measure,
+    compare,
+    sweep_grid,
+)
+from repro.bench.reporting import format_table, format_speedup_grid, print_report
+from repro.bench import experiments
+
+__all__ = [
+    "TimingResult",
+    "SpeedupResult",
+    "measure",
+    "compare",
+    "sweep_grid",
+    "format_table",
+    "format_speedup_grid",
+    "print_report",
+    "experiments",
+]

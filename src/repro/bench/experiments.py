@@ -1,0 +1,220 @@
+"""Per-figure / per-table experiment definitions.
+
+Each function here builds the workload for one experiment of the paper's
+evaluation at laptop scale and returns either the datasets or the
+:class:`~repro.bench.harness.SpeedupResult` rows the corresponding benchmark
+prints.  The pytest benchmarks in ``benchmarks/`` call these functions and add
+pytest-benchmark timing on top; EXPERIMENTS.md records the resulting
+paper-vs-measured comparison.
+
+Scale note: the paper's synthetic sweeps use ``n_R = 10^6`` and
+``n_S`` up to ``2 x 10^7``; the defaults here use ``n_R`` of a few thousand so
+a full grid finishes in seconds.  The tuple-ratio and feature-ratio axes --
+which determine the speed-up *shape* -- are preserved exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.bench.harness import SpeedupResult, compare
+from repro.core.normalized_matrix import NormalizedMatrix
+from repro.datasets.synthetic import (
+    MNDataset,
+    SyntheticMNConfig,
+    SyntheticPKFKConfig,
+    generate_mn,
+    generate_pk_fk,
+)
+
+#: Default sweep axes, matching the ranges of Figures 3-7 (values thinned so a
+#: full grid stays fast; the end points and the low-redundancy corner are kept).
+DEFAULT_TUPLE_RATIOS = (1, 2, 5, 10, 20)
+DEFAULT_FEATURE_RATIOS = (0.25, 0.5, 1, 2, 4)
+DEFAULT_MN_UNIQUENESS = (0.01, 0.05, 0.1, 0.25, 0.5)
+
+
+@dataclass
+class OperatorExperiment:
+    """One operator-level experiment: a name plus M and F callables per dataset."""
+
+    name: str
+    materialized_fn: Callable[[np.ndarray], object]
+    factorized_fn: Callable[[NormalizedMatrix], object]
+
+
+def pk_fk_operator_experiments(x_cols: int = 2) -> List[OperatorExperiment]:
+    """The operator set of Figures 3, 6 and 7 with shared argument matrices."""
+
+    def lmm_arg(d: int) -> np.ndarray:
+        return np.random.default_rng(7).standard_normal((d, x_cols))
+
+    def rmm_arg(n: int) -> np.ndarray:
+        return np.random.default_rng(11).standard_normal((x_cols, n))
+
+    return [
+        OperatorExperiment(
+            "scalar_multiplication",
+            lambda t: t * 3.0,
+            lambda tn: tn * 3.0,
+        ),
+        OperatorExperiment(
+            "scalar_addition",
+            lambda t: t + 3.0,
+            lambda tn: tn + 3.0,
+        ),
+        OperatorExperiment(
+            "scalar_exponentiation",
+            lambda t: t ** 2,
+            lambda tn: tn ** 2,
+        ),
+        OperatorExperiment(
+            "rowsums",
+            lambda t: t.sum(axis=1),
+            lambda tn: tn.rowsums(),
+        ),
+        OperatorExperiment(
+            "colsums",
+            lambda t: t.sum(axis=0),
+            lambda tn: tn.colsums(),
+        ),
+        OperatorExperiment(
+            "sum",
+            lambda t: t.sum(),
+            lambda tn: tn.total_sum(),
+        ),
+        OperatorExperiment(
+            "lmm",
+            lambda t: t @ lmm_arg(t.shape[1]),
+            lambda tn: tn @ lmm_arg(tn.shape[1]),
+        ),
+        OperatorExperiment(
+            "rmm",
+            lambda t: rmm_arg(t.shape[0]) @ t,
+            lambda tn: rmm_arg(tn.shape[0]) @ tn,
+        ),
+        OperatorExperiment(
+            "crossprod",
+            lambda t: t.T @ t,
+            lambda tn: tn.crossprod(),
+        ),
+        OperatorExperiment(
+            "pseudoinverse",
+            lambda t: np.linalg.pinv(t),
+            lambda tn: tn.ginv(),
+        ),
+    ]
+
+
+def build_pk_fk_dataset(tuple_ratio: float, feature_ratio: float,
+                        num_attribute_rows: int = 400,
+                        num_entity_features: int = 10, seed: int = 0):
+    """Generate one PK-FK dataset of the sweep grid."""
+    config = SyntheticPKFKConfig.from_ratios(
+        tuple_ratio=tuple_ratio, feature_ratio=feature_ratio,
+        num_attribute_rows=num_attribute_rows,
+        num_entity_features=num_entity_features, seed=seed,
+    )
+    return generate_pk_fk(config)
+
+
+def run_pk_fk_operator_sweep(experiment: OperatorExperiment,
+                             tuple_ratios: Sequence[float] = DEFAULT_TUPLE_RATIOS,
+                             feature_ratios: Sequence[float] = DEFAULT_FEATURE_RATIOS,
+                             num_attribute_rows: int = 400,
+                             repeats: int = 3) -> List[SpeedupResult]:
+    """Measure one operator over the (TR, FR) grid (Figure 3/6/7 style)."""
+    results: List[SpeedupResult] = []
+    for tr in tuple_ratios:
+        for fr in feature_ratios:
+            dataset = build_pk_fk_dataset(tr, fr, num_attribute_rows=num_attribute_rows)
+            materialized = dataset.materialized
+            normalized = dataset.normalized
+            results.append(compare(
+                lambda m=materialized: experiment.materialized_fn(m),
+                lambda n=normalized: experiment.factorized_fn(n),
+                parameters={"tuple_ratio": tr, "feature_ratio": fr},
+                repeats=repeats,
+            ))
+    return results
+
+
+def build_mn_dataset(uniqueness_degree: float, num_rows: int = 600,
+                     num_features: int = 20, seed: int = 0) -> MNDataset:
+    """Generate one M:N dataset of the uniqueness-degree sweep (Figure 4/11/12)."""
+    domain = max(1, int(round(uniqueness_degree * num_rows)))
+    config = SyntheticMNConfig(num_rows=num_rows, num_features=num_features,
+                               domain_size=domain, seed=seed)
+    return generate_mn(config)
+
+
+def mn_operator_experiments(x_cols: int = 2) -> List[OperatorExperiment]:
+    """Operator set of Figures 4, 11 and 12 for M:N normalized matrices."""
+
+    def lmm_arg(d: int) -> np.ndarray:
+        return np.random.default_rng(7).standard_normal((d, x_cols))
+
+    def rmm_arg(n: int) -> np.ndarray:
+        return np.random.default_rng(11).standard_normal((x_cols, n))
+
+    return [
+        OperatorExperiment("scalar_addition", lambda t: t + 3.0, lambda tn: tn + 3.0),
+        OperatorExperiment("scalar_multiplication", lambda t: t * 3.0, lambda tn: tn * 3.0),
+        OperatorExperiment("rowsums", lambda t: t.sum(axis=1), lambda tn: tn.rowsums()),
+        OperatorExperiment("colsums", lambda t: t.sum(axis=0), lambda tn: tn.colsums()),
+        OperatorExperiment("sum", lambda t: t.sum(), lambda tn: tn.total_sum()),
+        OperatorExperiment("lmm", lambda t: t @ lmm_arg(t.shape[1]),
+                           lambda tn: tn @ lmm_arg(tn.shape[1])),
+        OperatorExperiment("rmm", lambda t: rmm_arg(t.shape[0]) @ t,
+                           lambda tn: rmm_arg(tn.shape[0]) @ tn),
+        OperatorExperiment("crossprod", lambda t: t.T @ t, lambda tn: tn.crossprod()),
+    ]
+
+
+def run_mn_operator_sweep(experiment: OperatorExperiment,
+                          uniqueness_degrees: Sequence[float] = DEFAULT_MN_UNIQUENESS,
+                          num_rows: int = 600, num_features: int = 20,
+                          repeats: int = 3) -> List[SpeedupResult]:
+    """Measure one operator over the M:N uniqueness-degree sweep."""
+    results: List[SpeedupResult] = []
+    for degree in uniqueness_degrees:
+        dataset = build_mn_dataset(degree, num_rows=num_rows, num_features=num_features)
+        materialized = dataset.materialized
+        normalized = dataset.normalized
+        results.append(compare(
+            lambda m=materialized: experiment.materialized_fn(m),
+            lambda n=normalized: experiment.factorized_fn(n),
+            parameters={"uniqueness_degree": degree},
+            repeats=repeats,
+        ))
+    return results
+
+
+def decision_rule_confusion(speedups: Sequence[SpeedupResult],
+                            tuple_ratio_threshold: float = 5.0,
+                            feature_ratio_threshold: float = 1.0) -> Dict[str, int]:
+    """Evaluate the heuristic decision rule against measured speed-ups.
+
+    Returns the four confusion-matrix counts where "positive" means "the rule
+    chose to factorize" and the ground truth is "the factorized version was at
+    least as fast" (Section 5.1's conservativeness discussion).
+    """
+    counts = {"true_positive": 0, "false_positive": 0, "true_negative": 0, "false_negative": 0}
+    for result in speedups:
+        chose_factorized = (
+            result.parameters["tuple_ratio"] >= tuple_ratio_threshold
+            and result.parameters["feature_ratio"] >= feature_ratio_threshold
+        )
+        factorized_won = result.speedup >= 1.0
+        if chose_factorized and factorized_won:
+            counts["true_positive"] += 1
+        elif chose_factorized and not factorized_won:
+            counts["false_positive"] += 1
+        elif not chose_factorized and not factorized_won:
+            counts["true_negative"] += 1
+        else:
+            counts["false_negative"] += 1
+    return counts

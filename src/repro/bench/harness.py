@@ -1,0 +1,86 @@
+"""Timing and sweep utilities for the benchmark suite.
+
+Everything here is deterministic and dependency-free so both the pytest
+benchmarks and the runnable examples can reuse it.  Wall-clock timing uses
+``time.perf_counter`` with a configurable number of repeats, reporting the
+minimum (the conventional choice for micro-benchmarks because it is the least
+noisy estimator of the achievable runtime).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass
+class TimingResult:
+    """Wall-clock timings of one callable."""
+
+    label: str
+    seconds: List[float] = field(default_factory=list)
+
+    @property
+    def best(self) -> float:
+        return min(self.seconds) if self.seconds else float("nan")
+
+    @property
+    def mean(self) -> float:
+        return sum(self.seconds) / len(self.seconds) if self.seconds else float("nan")
+
+
+@dataclass
+class SpeedupResult:
+    """A factorized-vs-materialized comparison at one parameter point."""
+
+    parameters: Dict[str, float]
+    materialized_seconds: float
+    factorized_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        if self.factorized_seconds <= 0:
+            return float("inf")
+        return self.materialized_seconds / self.factorized_seconds
+
+
+def measure(fn: Callable[[], object], label: str = "", repeats: int = 3,
+            warmup: int = 1) -> TimingResult:
+    """Time *fn* with *warmup* discarded runs followed by *repeats* measured runs."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    for _ in range(warmup):
+        fn()
+    result = TimingResult(label=label)
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        result.seconds.append(time.perf_counter() - start)
+    return result
+
+
+def compare(materialized_fn: Callable[[], object], factorized_fn: Callable[[], object],
+            parameters: Dict[str, float], repeats: int = 3, warmup: int = 1) -> SpeedupResult:
+    """Time the materialized and factorized versions of one operation and compare."""
+    materialized = measure(materialized_fn, "materialized", repeats=repeats, warmup=warmup)
+    factorized = measure(factorized_fn, "factorized", repeats=repeats, warmup=warmup)
+    return SpeedupResult(
+        parameters=dict(parameters),
+        materialized_seconds=materialized.best,
+        factorized_seconds=factorized.best,
+    )
+
+
+def sweep_grid(parameter_grid: Sequence[Dict[str, float]],
+               runner: Callable[[Dict[str, float]], SpeedupResult]) -> List[SpeedupResult]:
+    """Run *runner* for every parameter combination and collect the results."""
+    return [runner(params) for params in parameter_grid]
+
+
+def cartesian(**axes: Iterable) -> List[Dict[str, float]]:
+    """Build a parameter grid from named axes, e.g. ``cartesian(tr=[5, 10], fr=[1, 2])``."""
+    grid: List[Dict[str, float]] = [{}]
+    for name, values in axes.items():
+        grid = [dict(point, **{name: value}) for point in grid for value in values]
+    return grid

@@ -1,0 +1,72 @@
+"""Plain-text rendering of benchmark results.
+
+The paper reports its evaluation as tables of runtimes/speed-ups and as
+speed-up grids over (tuple ratio, feature ratio).  These helpers render the
+same rows and grids as fixed-width text so every benchmark prints a directly
+comparable artifact (captured into ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import SpeedupResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a fixed-width text table."""
+    columns = [list(map(str, col)) for col in zip(*([headers] + [list(r) for r in rows]))] \
+        if rows else [[str(h)] for h in headers]
+    widths = [max(len(v) for v in col) for col in columns]
+    def fmt_row(values: Sequence[object]) -> str:
+        return " | ".join(str(v).ljust(w) for v, w in zip(values, widths))
+    lines = [fmt_row(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_speedup_grid(results: Sequence[SpeedupResult], row_key: str,
+                        col_key: str) -> str:
+    """Render a grid of speed-ups indexed by two parameter names.
+
+    This mirrors the paper's Figure 3/6 heat maps: rows are one parameter
+    (e.g. feature ratio), columns the other (e.g. tuple ratio), cells are the
+    measured speed-up of factorized over materialized.
+    """
+    row_values = sorted({r.parameters[row_key] for r in results})
+    col_values = sorted({r.parameters[col_key] for r in results})
+    lookup: Dict[tuple, float] = {
+        (r.parameters[row_key], r.parameters[col_key]): r.speedup for r in results
+    }
+    headers = [f"{row_key}\\{col_key}"] + [f"{c:g}" for c in col_values]
+    rows: List[List[str]] = []
+    for rv in row_values:
+        row = [f"{rv:g}"]
+        for cv in col_values:
+            value = lookup.get((rv, cv))
+            row.append(f"{value:.2f}x" if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_speedup_rows(results: Sequence[SpeedupResult],
+                        parameter_names: Sequence[str]) -> str:
+    """Render one row per measurement: parameters, both runtimes and the speed-up."""
+    headers = list(parameter_names) + ["materialized (s)", "factorized (s)", "speedup"]
+    rows = []
+    for result in results:
+        row = [f"{result.parameters.get(name, ''):g}" if isinstance(result.parameters.get(name), (int, float))
+               else str(result.parameters.get(name, "")) for name in parameter_names]
+        row.extend([
+            f"{result.materialized_seconds:.4f}",
+            f"{result.factorized_seconds:.4f}",
+            f"{result.speedup:.2f}x",
+        ])
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def print_report(title: str, body: str) -> None:
+    """Print a titled report block (what the benchmarks emit into bench_output.txt)."""
+    banner = "=" * max(len(title), 8)
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

@@ -1,0 +1,53 @@
+"""Morpheus core: the normalized matrix and the factorized rewrite rules.
+
+This package implements the paper's primary contribution:
+
+* :class:`repro.core.normalized_matrix.NormalizedMatrix` -- the logical data
+  type for star-schema PK-FK joins (``T = [S, K1 R1, ..., Kq Rq]``), with every
+  LA operator of Table 1 overloaded to execute via the factorized rewrite
+  rules of Section 3.3/3.5 and the transpose rules of Appendix A.
+* :class:`repro.core.mn_matrix.MNNormalizedMatrix` -- the extension to general
+  M:N equi-joins and multi-table M:N joins (Section 3.6, Appendices D and E).
+* :mod:`repro.core.rewrite` -- the rewrite rules themselves, written as plain
+  functions over the base matrices so they can be tested, benchmarked and
+  ablated (naive vs. efficient cross-product, LMM multiplication order)
+  independently of the wrapper classes.
+* :mod:`repro.core.cost` -- the arithmetic-operation cost models of Table 3 /
+  Table 11.
+* :mod:`repro.core.decision` -- the heuristic decision rule of Section 3.7 /
+  5.1 and the :func:`morpheus` factory that applies it.
+"""
+
+from repro.core.indicator import (
+    validate_pk_fk_indicator,
+    validate_mn_indicator,
+    indicator_stats,
+)
+from repro.core.normalized_matrix import NormalizedMatrix
+from repro.core.mn_matrix import MNNormalizedMatrix
+from repro.core.materialize import materialize
+from repro.core.cost import (
+    OperatorCost,
+    standard_cost,
+    factorized_cost,
+    asymptotic_speedup,
+    CostModel,
+)
+from repro.core.decision import DecisionRule, should_factorize, morpheus
+
+__all__ = [
+    "NormalizedMatrix",
+    "MNNormalizedMatrix",
+    "materialize",
+    "validate_pk_fk_indicator",
+    "validate_mn_indicator",
+    "indicator_stats",
+    "OperatorCost",
+    "standard_cost",
+    "factorized_cost",
+    "asymptotic_speedup",
+    "CostModel",
+    "DecisionRule",
+    "should_factorize",
+    "morpheus",
+]

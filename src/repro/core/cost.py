@@ -1,0 +1,190 @@
+"""Arithmetic-operation cost models for standard vs. factorized operators.
+
+Paper reference: Section 3.4 (Table 3) and Appendix F (Table 11).  The models
+count multiplications and additions as a function of the base-table dimensions
+``(n_S, d_S, n_R, d_R)`` and, where relevant, the width of the multiplied
+matrix.  They drive two things:
+
+* the analytical speed-up curves (``asymptotic_speedup``) used by the Table 3
+  validation benchmark, and
+* intuition for the heuristic decision rule in :mod:`repro.core.decision`
+  (the paper deliberately does *not* use the cost model at runtime, to stay
+  system-agnostic; we keep the same split).
+
+For multi-join star schemas the per-join costs simply add up, which is how the
+``CostModel`` convenience class generalizes the two-table formulas.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class Operator(enum.Enum):
+    """Operators with published cost expressions (Table 3 and Table 11)."""
+
+    SCALAR = "scalar"
+    AGGREGATION = "aggregation"
+    LMM = "lmm"
+    RMM = "rmm"
+    CROSSPROD = "crossprod"
+    PSEUDOINVERSE = "pseudoinverse"
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """Arithmetic-operation counts for the standard and factorized versions."""
+
+    operator: Operator
+    standard: float
+    factorized: float
+
+    @property
+    def speedup(self) -> float:
+        """Predicted speed-up = standard cost / factorized cost."""
+        if self.factorized <= 0:
+            return float("inf")
+        return self.standard / self.factorized
+
+
+@dataclass(frozen=True)
+class Dimensions:
+    """Base-table dimensions of a single PK-FK join (Table 2 notation)."""
+
+    n_s: int
+    d_s: int
+    n_r: int
+    d_r: int
+
+    @property
+    def d(self) -> int:
+        return self.d_s + self.d_r
+
+    @property
+    def tuple_ratio(self) -> float:
+        return self.n_s / self.n_r if self.n_r else float("inf")
+
+    @property
+    def feature_ratio(self) -> float:
+        return self.d_r / self.d_s if self.d_s else float("inf")
+
+
+def standard_cost(operator: Operator, dims: Dimensions, x_cols: int = 1) -> float:
+    """Arithmetic operations of the standard (materialized) operator (Table 3)."""
+    n_s, d_s, n_r, d_r = dims.n_s, dims.d_s, dims.n_r, dims.d_r
+    d = d_s + d_r
+    if operator in (Operator.SCALAR, Operator.AGGREGATION):
+        return n_s * d
+    if operator is Operator.LMM:
+        return x_cols * n_s * d
+    if operator is Operator.RMM:
+        return x_cols * n_s * d
+    if operator is Operator.CROSSPROD:
+        return 0.5 * d * d * n_s
+    if operator is Operator.PSEUDOINVERSE:
+        if n_s > d:
+            return 7 * n_s * d * d + 20 * d ** 3
+        return 7 * n_s * n_s * d + 20 * n_s ** 3
+    raise ValueError(f"no cost model for operator {operator}")
+
+
+def factorized_cost(operator: Operator, dims: Dimensions, x_cols: int = 1) -> float:
+    """Arithmetic operations of the factorized operator (Table 3 / Table 11)."""
+    n_s, d_s, n_r, d_r = dims.n_s, dims.d_s, dims.n_r, dims.d_r
+    d = d_s + d_r
+    base = n_s * d_s + n_r * d_r
+    if operator in (Operator.SCALAR, Operator.AGGREGATION):
+        return base
+    if operator is Operator.LMM:
+        return x_cols * base
+    if operator is Operator.RMM:
+        return x_cols * base
+    if operator is Operator.CROSSPROD:
+        return 0.5 * d_s * d_s * n_s + 0.5 * d_r * d_r * n_r + d_s * d_r * n_r
+    if operator is Operator.PSEUDOINVERSE:
+        crossprod = factorized_cost(Operator.CROSSPROD, dims)
+        if n_s > d:
+            return 27 * d ** 3 + crossprod + d * base
+        return 27 * n_s ** 3 + 0.5 * n_s * n_s * d_s + 0.5 * n_r * n_r * d_r + n_s * base
+    raise ValueError(f"no cost model for operator {operator}")
+
+
+def operator_cost(operator: Operator, dims: Dimensions, x_cols: int = 1) -> OperatorCost:
+    """Bundle the standard and factorized counts for one operator."""
+    return OperatorCost(
+        operator=operator,
+        standard=standard_cost(operator, dims, x_cols),
+        factorized=factorized_cost(operator, dims, x_cols),
+    )
+
+
+def asymptotic_speedup(operator: Operator, tuple_ratio: float, feature_ratio: float) -> float:
+    """Limit speed-ups of Table 11 as TR or FR grows.
+
+    For the linear-cost operators the speed-up converges to ``1 + FR`` as the
+    tuple ratio grows and to ``TR`` as the feature ratio grows; for
+    cross-product the TR limit is ``(1 + FR)^2``.
+    """
+    if operator is Operator.CROSSPROD:
+        return min((1.0 + feature_ratio) ** 2, _linear_speedup(tuple_ratio, feature_ratio) ** 2)
+    return _linear_speedup(tuple_ratio, feature_ratio)
+
+
+def _linear_speedup(tuple_ratio: float, feature_ratio: float) -> float:
+    """Exact redundancy ratio for linear-cost operators: size(T) / size(S, R)."""
+    denominator = 1.0 + feature_ratio / tuple_ratio
+    if denominator <= 0:
+        return float("inf")
+    return (1.0 + feature_ratio) / denominator
+
+
+class CostModel:
+    """Cost model for a (possibly multi-join) normalized matrix.
+
+    The per-join two-table formulas of Table 3 extend additively: the
+    factorized cost of a star schema is the entity-table term plus one
+    attribute-table term per join.
+    """
+
+    def __init__(self, n_s: int, d_s: int, attribute_dims: Dict[str, tuple] | list):
+        if isinstance(attribute_dims, dict):
+            attribute_dims = list(attribute_dims.values())
+        self.n_s = int(n_s)
+        self.d_s = int(d_s)
+        self.attribute_dims = [(int(n), int(d)) for n, d in attribute_dims]
+
+    @property
+    def total_features(self) -> int:
+        return self.d_s + sum(d for _, d in self.attribute_dims)
+
+    def scalar(self) -> OperatorCost:
+        standard = self.n_s * self.total_features
+        factorized = self.n_s * self.d_s + sum(n * d for n, d in self.attribute_dims)
+        return OperatorCost(Operator.SCALAR, standard, factorized)
+
+    def lmm(self, x_cols: int = 1) -> OperatorCost:
+        base = self.scalar()
+        return OperatorCost(Operator.LMM, x_cols * base.standard, x_cols * base.factorized)
+
+    def rmm(self, x_rows: int = 1) -> OperatorCost:
+        base = self.scalar()
+        return OperatorCost(Operator.RMM, x_rows * base.standard, x_rows * base.factorized)
+
+    def crossprod(self) -> OperatorCost:
+        d = self.total_features
+        standard = 0.5 * d * d * self.n_s
+        factorized = 0.5 * self.d_s * self.d_s * self.n_s
+        for n_r, d_r in self.attribute_dims:
+            factorized += 0.5 * d_r * d_r * n_r + self.d_s * d_r * n_r
+        return OperatorCost(Operator.CROSSPROD, standard, factorized)
+
+    def summary(self) -> Dict[str, float]:
+        """Predicted speed-ups for each modelled operator (used in reports)."""
+        return {
+            "scalar": self.scalar().speedup,
+            "lmm": self.lmm().speedup,
+            "rmm": self.rmm().speedup,
+            "crossprod": self.crossprod().speedup,
+        }

@@ -1,0 +1,116 @@
+"""Validation and inspection of indicator matrices.
+
+The normalized matrix is only well-defined when its indicator matrices have
+the structure the paper relies on:
+
+* PK-FK indicator ``K`` (Section 3.1): every row has exactly one non-zero,
+  every non-zero equals one, and (after the pre-processing of Section 3.1)
+  every column has at least one non-zero, so ``nnz(K) == n_S``.
+* M:N indicators ``I_S``/``I_R`` (Section 3.6): every row has exactly one
+  non-zero equal to one and every column at least one, so
+  ``nnz(I) == |T'|``.
+
+These invariants are exactly what the rewrite rules' correctness proofs use,
+so the constructors of the normalized-matrix classes validate them eagerly
+(validation is linear in ``nnz`` and therefore cheap relative to any LA
+operator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import IndicatorError
+from repro.la.types import MatrixLike, to_sparse
+
+
+@dataclass(frozen=True)
+class IndicatorStats:
+    """Summary statistics of an indicator matrix."""
+
+    shape: tuple
+    nnz: int
+    min_rows_per_column: int
+    max_rows_per_column: int
+
+    @property
+    def average_fanout(self) -> float:
+        """Average number of referencing rows per referenced row."""
+        if self.shape[1] == 0:
+            return 0.0
+        return self.nnz / self.shape[1]
+
+
+def _as_binary_csr(matrix: MatrixLike, context: str) -> sp.csr_matrix:
+    csr = to_sparse(matrix, "csr")
+    if csr.nnz and not np.all(csr.data == 1.0):
+        raise IndicatorError(f"{context}: all stored entries must equal 1")
+    return csr
+
+
+def validate_pk_fk_indicator(matrix: MatrixLike, require_full_columns: bool = True) -> sp.csr_matrix:
+    """Validate a PK-FK indicator matrix ``K`` and return it as CSR.
+
+    Checks that every row has exactly one entry equal to one, and (optionally)
+    that every column is referenced at least once, which the paper assumes
+    after dropping unreferenced attribute tuples.
+    """
+    csr = _as_binary_csr(matrix, "PK-FK indicator")
+    row_counts = np.diff(csr.indptr)
+    if csr.shape[0] and not np.all(row_counts == 1):
+        bad = int(np.argmax(row_counts != 1))
+        raise IndicatorError(
+            f"PK-FK indicator: row {bad} has {int(row_counts[bad])} non-zeros, expected exactly 1"
+        )
+    if require_full_columns and csr.shape[1]:
+        col_counts = np.asarray(csr.sum(axis=0)).ravel()
+        if np.any(col_counts == 0):
+            bad = int(np.argmax(col_counts == 0))
+            raise IndicatorError(
+                f"PK-FK indicator: column {bad} is never referenced; "
+                "drop unreferenced attribute rows before building the normalized matrix"
+            )
+    return csr
+
+
+def validate_mn_indicator(matrix: MatrixLike, require_full_columns: bool = True) -> sp.csr_matrix:
+    """Validate an M:N indicator matrix (``I_S`` or ``I_R``) and return it as CSR.
+
+    Structurally the per-row requirement is the same as for PK-FK indicators
+    (each output row of the join comes from exactly one source row); the
+    difference is semantic -- the number of rows equals the join output size
+    rather than the entity-table size.
+    """
+    csr = _as_binary_csr(matrix, "M:N indicator")
+    row_counts = np.diff(csr.indptr)
+    if csr.shape[0] and not np.all(row_counts == 1):
+        bad = int(np.argmax(row_counts != 1))
+        raise IndicatorError(
+            f"M:N indicator: row {bad} has {int(row_counts[bad])} non-zeros, expected exactly 1"
+        )
+    if require_full_columns and csr.shape[1]:
+        col_counts = np.asarray(csr.sum(axis=0)).ravel()
+        if np.any(col_counts == 0):
+            bad = int(np.argmax(col_counts == 0))
+            raise IndicatorError(
+                f"M:N indicator: column {bad} contributes no join output rows; "
+                "drop non-contributing base rows before building the normalized matrix"
+            )
+    return csr
+
+
+def indicator_stats(matrix: MatrixLike) -> IndicatorStats:
+    """Compute summary statistics (shape, nnz, per-column fan-out range)."""
+    csr = to_sparse(matrix, "csr")
+    if csr.shape[1] == 0:
+        return IndicatorStats(csr.shape, int(csr.nnz), 0, 0)
+    col_counts = np.asarray(csr.sum(axis=0)).ravel()
+    return IndicatorStats(
+        shape=csr.shape,
+        nnz=int(csr.nnz),
+        min_rows_per_column=int(col_counts.min()),
+        max_rows_per_column=int(col_counts.max()),
+    )

@@ -1,0 +1,42 @@
+"""Materialization of normalized matrices.
+
+Materialization produces the single denormalized matrix
+``T = [S, K1 R1, ..., Kq Rq]`` (star schema) or ``T = [I1 R1, ..., Iq Rq]``
+(M:N).  The library uses it in three places:
+
+* the *materialized baseline* ("M" in the paper's plots) that every benchmark
+  compares against,
+* the fallback path for non-factorizable operators (element-wise matrix
+  arithmetic with an arbitrary regular matrix, Section 3.3.7), and
+* the fallback inside ``ginv`` when the Gram matrix is rank-deficient.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.la.ops import hstack, matmul
+from repro.la.types import MatrixLike
+
+
+def materialize_star(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
+                     attributes: Sequence[MatrixLike]) -> MatrixLike:
+    """Materialize ``T = [S, K1 R1, ..., Kq Rq]`` for a star-schema normalized matrix."""
+    blocks: List[MatrixLike] = []
+    if entity is not None and entity.shape[1] > 0:
+        blocks.append(entity)
+    for indicator, attribute in zip(indicators, attributes):
+        blocks.append(matmul(indicator, attribute))
+    return hstack(blocks)
+
+
+def materialize_mn(indicators: Sequence[MatrixLike],
+                   attributes: Sequence[MatrixLike]) -> MatrixLike:
+    """Materialize ``T = [I1 R1, ..., Iq Rq]`` for an M:N normalized matrix."""
+    blocks = [matmul(indicator, attribute) for indicator, attribute in zip(indicators, attributes)]
+    return hstack(blocks)
+
+
+def materialize(normalized) -> MatrixLike:
+    """Materialize any normalized matrix (dispatches on the object's own method)."""
+    return normalized.materialize()

@@ -1,0 +1,101 @@
+"""Rewrite rules for the aggregation operators rowSums, colSums and sum.
+
+Paper reference: Section 3.3.2 (single PK-FK join), Section 3.5 (star schema),
+Appendix A (transposed inputs) and Appendices D/E (M:N joins).  These are the
+LA counterparts of SQL aggregate push-down: the aggregation is computed on the
+base matrices first and the small partial results are then combined through
+the indicator matrices.
+
+Star-schema rules (``T = [S, K1 R1, ..., Kq Rq]``)::
+
+    rowSums(T) -> rowSums(S) + sum_i Ki rowSums(Ri)
+    colSums(T) -> [colSums(S), colSums(K1) R1, ..., colSums(Kq) Rq]
+    sum(T)     -> sum(S) + sum_i colSums(Ki) rowSums(Ri)
+
+M:N rules (``T = [I1 R1, ..., Iq Rq]``)::
+
+    rowSums(T) -> sum_i Ii rowSums(Ri)
+    colSums(T) -> [colSums(I1) R1, ..., colSums(Iq) Rq]
+    sum(T)     -> sum_i colSums(Ii) rowSums(Ri)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.la.ops import colsums, matmul, rowsums, total_sum
+from repro.la.types import MatrixLike, to_dense
+
+
+# ---------------------------------------------------------------------------
+# Star-schema PK-FK
+# ---------------------------------------------------------------------------
+
+def rowsums_star(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
+                 attributes: Sequence[MatrixLike]) -> np.ndarray:
+    """``rowSums(T)`` as an ``(n_S, 1)`` column vector."""
+    n_rows = indicators[0].shape[0] if indicators else entity.shape[0]
+    acc = np.zeros((n_rows, 1))
+    if entity is not None and entity.shape[1] > 0:
+        acc = acc + rowsums(entity)
+    for indicator, attribute in zip(indicators, attributes):
+        acc = acc + to_dense(matmul(indicator, rowsums(attribute)))
+    return acc
+
+
+def colsums_star(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
+                 attributes: Sequence[MatrixLike]) -> np.ndarray:
+    """``colSums(T)`` as a ``(1, d)`` row vector in column order ``[S, R1, ..., Rq]``."""
+    blocks = []
+    if entity is not None and entity.shape[1] > 0:
+        blocks.append(colsums(entity))
+    for indicator, attribute in zip(indicators, attributes):
+        blocks.append(to_dense(matmul(colsums(indicator), attribute)))
+    if not blocks:
+        return np.zeros((1, 0))
+    return np.hstack(blocks)
+
+
+def sum_star(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
+             attributes: Sequence[MatrixLike]) -> float:
+    """``sum(T)``: total of all elements of the (virtual) join output."""
+    total = 0.0
+    if entity is not None and entity.shape[1] > 0:
+        total += total_sum(entity)
+    for indicator, attribute in zip(indicators, attributes):
+        partial = matmul(colsums(indicator), rowsums(attribute))
+        total += float(to_dense(partial).ravel()[0])
+    return total
+
+
+# ---------------------------------------------------------------------------
+# M:N joins (entity handled as just another component)
+# ---------------------------------------------------------------------------
+
+def rowsums_mn(indicators: Sequence[MatrixLike], attributes: Sequence[MatrixLike]) -> np.ndarray:
+    """``rowSums(T)`` for ``T = [I1 R1, ..., Iq Rq]``."""
+    n_rows = indicators[0].shape[0]
+    acc = np.zeros((n_rows, 1))
+    for indicator, attribute in zip(indicators, attributes):
+        acc = acc + to_dense(matmul(indicator, rowsums(attribute)))
+    return acc
+
+
+def colsums_mn(indicators: Sequence[MatrixLike], attributes: Sequence[MatrixLike]) -> np.ndarray:
+    """``colSums(T)`` for ``T = [I1 R1, ..., Iq Rq]``."""
+    blocks = [to_dense(matmul(colsums(indicator), attribute))
+              for indicator, attribute in zip(indicators, attributes)]
+    if not blocks:
+        return np.zeros((1, 0))
+    return np.hstack(blocks)
+
+
+def sum_mn(indicators: Sequence[MatrixLike], attributes: Sequence[MatrixLike]) -> float:
+    """``sum(T)`` for ``T = [I1 R1, ..., Iq Rq]``."""
+    total = 0.0
+    for indicator, attribute in zip(indicators, attributes):
+        partial = matmul(colsums(indicator), rowsums(attribute))
+        total += float(to_dense(partial).ravel()[0])
+    return total

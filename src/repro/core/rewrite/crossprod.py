@@ -1,0 +1,184 @@
+"""Rewrite rules for the cross-product (Gram matrix) operator.
+
+Paper reference: Section 3.3.5 (naive Algorithm 1 and efficient Algorithm 2),
+Section 3.5 (star schema block decomposition), Appendix A (transposed input,
+i.e. the Gramian ``T T^T``) and Appendices D/E (M:N joins).
+
+``crossprod(T) = T^T T`` is the workhorse of linear regression via normal
+equations, covariance and PCA.  The efficient rewrite exploits two facts:
+
+1. ``crossprod(S)`` computes only half of ``S^T S`` (symmetry).
+2. ``K^T K`` is diagonal with ``diag(colSums(K))`` on the diagonal, so
+   ``R^T (K^T K) R = crossprod(diag(colSums(K))^{1/2} R)`` -- no sparse
+   transpose product and another halving of the arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.la.ops import colsums, crossprod, diag_scale_rows, matmul, transpose
+from repro.la.types import MatrixLike, to_dense
+
+
+# ---------------------------------------------------------------------------
+# Star-schema PK-FK
+# ---------------------------------------------------------------------------
+
+def crossprod_star_naive(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
+                         attributes: Sequence[MatrixLike]) -> np.ndarray:
+    """Algorithm 1: the straightforward factorized cross-product.
+
+    Uses ``S^T S`` and ``R^T (K^T K) R`` directly; kept as the baseline for
+    the ablation benchmark against :func:`crossprod_star_efficient`.
+    """
+    entity_width = entity.shape[1] if entity is not None else 0
+    widths = [r.shape[1] for r in attributes]
+    total = entity_width + sum(widths)
+    out = np.zeros((total, total))
+    offsets = _offsets(entity_width, widths)
+
+    if entity_width:
+        out[:entity_width, :entity_width] = to_dense(matmul(transpose(entity), entity))
+    for i, (indicator, attribute) in enumerate(zip(indicators, attributes)):
+        oi, wi = offsets[i], widths[i]
+        if entity_width:
+            # P = R^T (K^T S); lower-left block and its transpose.
+            partial = to_dense(matmul(transpose(attribute), matmul(transpose(indicator), entity)))
+            out[oi:oi + wi, :entity_width] = partial
+            out[:entity_width, oi:oi + wi] = partial.T
+        gram_indicator = matmul(transpose(indicator), indicator)
+        out[oi:oi + wi, oi:oi + wi] = to_dense(
+            matmul(transpose(attribute), matmul(gram_indicator, attribute))
+        )
+        for j in range(i + 1, len(attributes)):
+            oj, wj = offsets[j], widths[j]
+            crossing = matmul(transpose(indicator), indicators[j])
+            block = to_dense(matmul(transpose(attribute), matmul(crossing, attributes[j])))
+            out[oi:oi + wi, oj:oj + wj] = block
+            out[oj:oj + wj, oi:oi + wi] = block.T
+    return out
+
+
+def crossprod_star_efficient(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
+                             attributes: Sequence[MatrixLike]) -> np.ndarray:
+    """Algorithm 2: the optimized factorized cross-product.
+
+    Diagonal attribute blocks use
+    ``crossprod(diag(colSums(K_i))^{1/2} R_i)``; the entity block uses
+    ``crossprod(S)``; off-diagonal blocks are ``(S^T K_i) R_i`` and
+    ``R_i^T (K_i^T K_j) R_j`` exactly as in Section 3.5.
+    """
+    entity_width = entity.shape[1] if entity is not None else 0
+    widths = [r.shape[1] for r in attributes]
+    total = entity_width + sum(widths)
+    out = np.zeros((total, total))
+    offsets = _offsets(entity_width, widths)
+
+    if entity_width:
+        out[:entity_width, :entity_width] = to_dense(crossprod(entity))
+    for i, (indicator, attribute) in enumerate(zip(indicators, attributes)):
+        oi, wi = offsets[i], widths[i]
+        if entity_width:
+            # (S^T K_i) R_i: small intermediate of size dS x nRi.
+            partial = to_dense(matmul(matmul(transpose(entity), indicator), attribute))
+            out[:entity_width, oi:oi + wi] = partial
+            out[oi:oi + wi, :entity_width] = partial.T
+        counts = colsums(indicator)
+        scaled = diag_scale_rows(np.sqrt(np.asarray(counts).ravel()), attribute)
+        out[oi:oi + wi, oi:oi + wi] = to_dense(crossprod(scaled))
+        for j in range(i + 1, len(attributes)):
+            oj, wj = offsets[j], widths[j]
+            crossing = matmul(transpose(indicator), indicators[j])
+            block = to_dense(matmul(transpose(attribute), matmul(crossing, attributes[j])))
+            out[oi:oi + wi, oj:oj + wj] = block
+            out[oj:oj + wj, oi:oi + wi] = block.T
+    return out
+
+
+def gram_transposed_star(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
+                         attributes: Sequence[MatrixLike]) -> np.ndarray:
+    """``crossprod(T^T) = T T^T`` (the Gramian), an ``n_S x n_S`` regular matrix.
+
+    Appendix A rule, generalized to the star schema::
+
+        crossprod(T^T) -> crossprod(S^T) + sum_i K_i crossprod(R_i^T) K_i^T
+    """
+    n_rows = indicators[0].shape[0] if indicators else entity.shape[0]
+    out = np.zeros((n_rows, n_rows))
+    if entity is not None and entity.shape[1] > 0:
+        out = out + to_dense(matmul(entity, transpose(entity)))
+    for indicator, attribute in zip(indicators, attributes):
+        inner = matmul(attribute, transpose(attribute))
+        out = out + to_dense(matmul(matmul(indicator, inner), transpose(indicator)))
+    return out
+
+
+def _offsets(entity_width: int, widths: Sequence[int]) -> List[int]:
+    """Column offsets of each attribute block inside ``T``."""
+    offsets = []
+    start = entity_width
+    for width in widths:
+        offsets.append(start)
+        start += width
+    return offsets
+
+
+# ---------------------------------------------------------------------------
+# M:N joins
+# ---------------------------------------------------------------------------
+
+def crossprod_mn_naive(indicators: Sequence[MatrixLike],
+                       attributes: Sequence[MatrixLike]) -> np.ndarray:
+    """Algorithm 9: naive factorized cross-product for M:N normalized matrices."""
+    widths = [r.shape[1] for r in attributes]
+    total = sum(widths)
+    out = np.zeros((total, total))
+    offsets = _offsets(0, widths)
+    for i, (indicator, attribute) in enumerate(zip(indicators, attributes)):
+        oi, wi = offsets[i], widths[i]
+        gram_indicator = matmul(transpose(indicator), indicator)
+        out[oi:oi + wi, oi:oi + wi] = to_dense(
+            matmul(transpose(attribute), matmul(gram_indicator, attribute))
+        )
+        for j in range(i + 1, len(attributes)):
+            oj, wj = offsets[j], widths[j]
+            crossing = matmul(transpose(indicator), indicators[j])
+            block = to_dense(matmul(transpose(attribute), matmul(crossing, attributes[j])))
+            out[oi:oi + wi, oj:oj + wj] = block
+            out[oj:oj + wj, oi:oi + wi] = block.T
+    return out
+
+
+def crossprod_mn_efficient(indicators: Sequence[MatrixLike],
+                           attributes: Sequence[MatrixLike]) -> np.ndarray:
+    """Algorithm 10: efficient factorized cross-product for M:N normalized matrices."""
+    widths = [r.shape[1] for r in attributes]
+    total = sum(widths)
+    out = np.zeros((total, total))
+    offsets = _offsets(0, widths)
+    for i, (indicator, attribute) in enumerate(zip(indicators, attributes)):
+        oi, wi = offsets[i], widths[i]
+        counts = colsums(indicator)
+        scaled = diag_scale_rows(np.sqrt(np.asarray(counts).ravel()), attribute)
+        out[oi:oi + wi, oi:oi + wi] = to_dense(crossprod(scaled))
+        for j in range(i + 1, len(attributes)):
+            oj, wj = offsets[j], widths[j]
+            crossing = matmul(transpose(indicator), indicators[j])
+            block = to_dense(matmul(transpose(attribute), matmul(crossing, attributes[j])))
+            out[oi:oi + wi, oj:oj + wj] = block
+            out[oj:oj + wj, oi:oi + wi] = block.T
+    return out
+
+
+def gram_transposed_mn(indicators: Sequence[MatrixLike],
+                       attributes: Sequence[MatrixLike]) -> np.ndarray:
+    """``crossprod(T^T)`` for M:N: ``sum_i I_i crossprod(R_i^T) I_i^T``."""
+    n_rows = indicators[0].shape[0]
+    out = np.zeros((n_rows, n_rows))
+    for indicator, attribute in zip(indicators, attributes):
+        inner = matmul(attribute, transpose(attribute))
+        out = out + to_dense(matmul(matmul(indicator, inner), transpose(indicator)))
+    return out

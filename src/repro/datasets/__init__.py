@@ -1,0 +1,42 @@
+"""Dataset generators used by the examples, tests and benchmarks.
+
+* :mod:`repro.datasets.synthetic` -- the synthetic PK-FK and M:N generators
+  behind the paper's operator-level and algorithm-level sweeps (Tables 4/5,
+  Figures 3-12).
+* :mod:`repro.datasets.realworld` -- synthetic stand-ins for the seven real
+  multi-table datasets of Table 6 (Expedia, Movies, Yelp, Walmart, LastFM,
+  Books, Flights).  We do not ship the original data (it is third-party and
+  large); instead each stand-in reproduces the dataset's *schema*, relative
+  table sizes, feature counts and sparsity structure at a configurable scale
+  factor, which is what the speed-ups depend on.
+* :mod:`repro.datasets.registry` -- a small registry so benchmarks can iterate
+  over "all real datasets" by name.
+"""
+
+from repro.datasets.synthetic import (
+    SyntheticPKFKConfig,
+    SyntheticMNConfig,
+    PKFKDataset,
+    MNDataset,
+    generate_pk_fk,
+    generate_star,
+    generate_mn,
+)
+from repro.datasets.realworld import RealWorldSpec, RealWorldDataset, generate_real_dataset
+from repro.datasets.registry import REAL_DATASET_SPECS, list_real_datasets, load_real_dataset
+
+__all__ = [
+    "SyntheticPKFKConfig",
+    "SyntheticMNConfig",
+    "PKFKDataset",
+    "MNDataset",
+    "generate_pk_fk",
+    "generate_star",
+    "generate_mn",
+    "RealWorldSpec",
+    "RealWorldDataset",
+    "generate_real_dataset",
+    "REAL_DATASET_SPECS",
+    "list_real_datasets",
+    "load_real_dataset",
+]

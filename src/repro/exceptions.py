@@ -1,0 +1,50 @@
+"""Exception hierarchy for the Morpheus reproduction library.
+
+All library-specific errors derive from :class:`MorpheusError` so callers can
+catch everything raised by this package with a single ``except`` clause while
+still being able to discriminate the finer-grained categories below.
+"""
+
+from __future__ import annotations
+
+
+class MorpheusError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ShapeError(MorpheusError):
+    """Raised when matrix dimensions are incompatible for an operation."""
+
+
+class SchemaError(MorpheusError):
+    """Raised when relational schema metadata is invalid or inconsistent.
+
+    Examples include a foreign key referencing a column that does not exist,
+    duplicate primary keys in an attribute table, or a join specification that
+    names a missing table.
+    """
+
+
+class IndicatorError(MorpheusError):
+    """Raised when an indicator matrix violates its structural invariants.
+
+    For a PK-FK indicator matrix ``K`` every row must contain exactly one
+    non-zero entry equal to one; for M:N indicator matrices every row must
+    contain exactly one non-zero and every column at least one.
+    """
+
+
+class RewriteError(MorpheusError):
+    """Raised when a rewrite rule cannot be applied to the given operands."""
+
+
+class NotSupportedError(MorpheusError):
+    """Raised for operations outside the supported LA operator set (Table 1)."""
+
+
+class ConvergenceError(MorpheusError):
+    """Raised when an iterative ML algorithm fails to make progress."""
+
+
+class DataGenerationError(MorpheusError):
+    """Raised when a synthetic dataset specification is infeasible."""

@@ -1,0 +1,83 @@
+"""Linear-algebra utility layer.
+
+This subpackage is the substrate every other part of the library builds on.
+It provides:
+
+* :mod:`repro.la.types` -- shared type aliases and dense/sparse predicates.
+* :mod:`repro.la.ops` -- a uniform set of LA primitives (``rowsums``,
+  ``colsums``, ``crossprod``, ``ginv`` ...) that behave identically for dense
+  NumPy arrays and SciPy sparse matrices.  The Morpheus rewrite rules are
+  expressed exclusively in terms of these primitives, which is what gives the
+  framework *closure*: a rewritten operator is just another LA expression.
+* :mod:`repro.la.backend` -- a small backend abstraction
+  (:class:`DenseBackend`, :class:`SparseBackend`, :class:`ChunkedBackend`)
+  mirroring the paper's claim that Morpheus can sit on top of any LA system.
+* :mod:`repro.la.chunked` -- :class:`ChunkedMatrix`, a row-partitioned matrix
+  that emulates Oracle R Enterprise's ``ore.rowapply`` execution model and is
+  used for the scalability experiments (Tables 9 and 10).
+"""
+
+from repro.la.types import (
+    MatrixLike,
+    is_sparse,
+    is_dense,
+    is_vector,
+    ensure_2d,
+    to_dense,
+    to_sparse,
+)
+from repro.la.ops import (
+    rowsums,
+    colsums,
+    total_sum,
+    crossprod,
+    ginv,
+    diag_scale_rows,
+    sparse_diag,
+    hstack,
+    vstack,
+    matmul,
+    transpose,
+    elementwise,
+    scalar_op,
+    allclose,
+    nnz,
+    row_min,
+    indicator_from_labels,
+)
+from repro.la.backend import Backend, DenseBackend, SparseBackend, ChunkedBackend, get_backend
+from repro.la.chunked import ChunkedMatrix, row_apply
+
+__all__ = [
+    "MatrixLike",
+    "is_sparse",
+    "is_dense",
+    "is_vector",
+    "ensure_2d",
+    "to_dense",
+    "to_sparse",
+    "rowsums",
+    "colsums",
+    "total_sum",
+    "crossprod",
+    "ginv",
+    "diag_scale_rows",
+    "sparse_diag",
+    "hstack",
+    "vstack",
+    "matmul",
+    "transpose",
+    "elementwise",
+    "scalar_op",
+    "allclose",
+    "nnz",
+    "row_min",
+    "indicator_from_labels",
+    "Backend",
+    "DenseBackend",
+    "SparseBackend",
+    "ChunkedBackend",
+    "get_backend",
+    "ChunkedMatrix",
+    "row_apply",
+]

@@ -1,0 +1,128 @@
+"""Backend abstraction over concrete LA execution engines.
+
+The paper's central architectural claim is *closure*: because Morpheus only
+rewrites LA expressions into other LA expressions, it can run unchanged on any
+system that exposes the basic operator set -- standalone R, Oracle R
+Enterprise, SystemML, NumPy, and so on.  This module captures that idea as a
+small :class:`Backend` interface with three implementations:
+
+* :class:`DenseBackend` -- plain NumPy arrays (the analogue of standalone R
+  with dense matrices).
+* :class:`SparseBackend` -- SciPy CSR matrices (the analogue of R's ``Matrix``
+  package used for the real sparse datasets).
+* :class:`ChunkedBackend` -- the out-of-core, row-partitioned execution model
+  of Oracle R Enterprise's ``ore.rowapply`` (see :mod:`repro.la.chunked`),
+  used by the Table 9 / Table 10 scalability experiments.
+
+The ML algorithms and rewrite rules never import a backend directly; they only
+use the primitives from :mod:`repro.la.ops`, which operate on whatever operand
+type a backend hands them.  Backends are used by the data generators and the
+benchmark harness to decide how base-table matrices are *stored*.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import NotSupportedError
+from repro.la.types import MatrixLike, to_dense, to_sparse
+
+
+class Backend(abc.ABC):
+    """Strategy object deciding how base-table matrices are materialized."""
+
+    #: short identifier used in benchmark reports
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def from_dense(self, array: np.ndarray) -> MatrixLike:
+        """Wrap a dense array in this backend's preferred storage."""
+
+    @abc.abstractmethod
+    def from_sparse(self, matrix: sp.spmatrix) -> MatrixLike:
+        """Wrap a sparse matrix in this backend's preferred storage."""
+
+    def zeros(self, shape: tuple) -> MatrixLike:
+        """Return an all-zero matrix of the given shape in backend storage."""
+        return self.from_dense(np.zeros(shape))
+
+    def describe(self) -> str:
+        """Human-readable one-line description used by benchmark reports."""
+        return f"{self.name} backend"
+
+
+class DenseBackend(Backend):
+    """Store every matrix as a dense ``numpy.ndarray``."""
+
+    name = "dense"
+
+    def from_dense(self, array: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(np.asarray(array, dtype=np.float64))
+
+    def from_sparse(self, matrix: sp.spmatrix) -> np.ndarray:
+        return to_dense(matrix).astype(np.float64)
+
+
+class SparseBackend(Backend):
+    """Store every matrix as a SciPy CSR matrix."""
+
+    name = "sparse"
+
+    def from_dense(self, array: np.ndarray) -> sp.csr_matrix:
+        return sp.csr_matrix(np.asarray(array, dtype=np.float64))
+
+    def from_sparse(self, matrix: sp.spmatrix) -> sp.csr_matrix:
+        return to_sparse(matrix, "csr").astype(np.float64)
+
+
+class ChunkedBackend(Backend):
+    """Store matrices row-partitioned, emulating ORE's ``ore.rowapply``.
+
+    Parameters
+    ----------
+    chunk_rows:
+        Maximum number of rows per chunk.  Small values exercise the
+        out-of-core code path aggressively; the scalability benchmarks use a
+        few thousand rows per chunk.
+    """
+
+    name = "chunked"
+
+    def __init__(self, chunk_rows: int = 4096):
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        self.chunk_rows = int(chunk_rows)
+
+    def from_dense(self, array: np.ndarray):
+        from repro.la.chunked import ChunkedMatrix
+
+        return ChunkedMatrix.from_matrix(np.asarray(array, dtype=np.float64), self.chunk_rows)
+
+    def from_sparse(self, matrix: sp.spmatrix):
+        from repro.la.chunked import ChunkedMatrix
+
+        return ChunkedMatrix.from_matrix(to_sparse(matrix, "csr").astype(np.float64), self.chunk_rows)
+
+    def describe(self) -> str:
+        return f"chunked backend (chunk_rows={self.chunk_rows})"
+
+
+_REGISTRY = {
+    "dense": DenseBackend,
+    "sparse": SparseBackend,
+    "chunked": ChunkedBackend,
+}
+
+
+def get_backend(name: str, chunk_rows: Optional[int] = None) -> Backend:
+    """Look up a backend by name (``dense``, ``sparse`` or ``chunked``)."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise NotSupportedError(f"unknown backend {name!r}; expected one of {sorted(_REGISTRY)}")
+    if key == "chunked":
+        return ChunkedBackend(chunk_rows or 4096)
+    return _REGISTRY[key]()

@@ -1,0 +1,254 @@
+"""Row-partitioned matrices emulating Oracle R Enterprise's execution model.
+
+The paper's scalability study (Section 5.2.4, Tables 9 and 10) runs Morpheus
+on Oracle R Enterprise, whose ``ore.rowapply`` operator streams a
+larger-than-memory table through an R function one row-chunk at a time.  We do
+not have ORE (it is a closed-source commercial system), so this module builds
+the closest open equivalent: :class:`ChunkedMatrix`, a matrix stored as a list
+of row chunks whose LA operators are computed chunk-at-a-time via
+:func:`row_apply`.
+
+What the substitution preserves
+-------------------------------
+The experiment in the paper measures how the factorized and materialized
+versions of logistic regression scale when every pass over the data has to be
+streamed.  The relevant behaviour is (a) per-chunk operator dispatch overhead
+and (b) the fact that the factorized version streams the *base* matrices while
+the materialized version streams the (much wider or taller) join output.  Both
+are faithfully exercised by :class:`ChunkedMatrix`; only the absolute
+constants (disk vs. memory bandwidth) differ, which the benchmark reports make
+explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ShapeError
+from repro.la.types import MatrixLike, ensure_2d, is_sparse, to_dense
+from repro.la import ops as la_ops
+
+
+def row_apply(matrix: "ChunkedMatrix", fn: Callable[[MatrixLike], MatrixLike]) -> List[MatrixLike]:
+    """Apply *fn* to every row chunk of *matrix* and collect the results.
+
+    This is the Python analogue of ORE's ``ore.rowapply``: the function sees
+    one in-memory chunk at a time and never the whole matrix.
+    """
+    return [fn(chunk) for chunk in matrix.chunks]
+
+
+class TransposedChunkedView:
+    """A lightweight read-only view of ``ChunkedMatrix.T``.
+
+    ML scripts only ever use the transpose of the data matrix inside products
+    of the form ``T.T @ X`` (gradients, centroid updates, co-factor rows), so
+    this view supports exactly that -- delegating to
+    :meth:`ChunkedMatrix.transpose_matmul`, which streams one chunk at a time --
+    plus the shape/densification accessors the tests and diagnostics need.
+    """
+
+    __array_ufunc__ = None
+    __array_priority__ = 1000
+
+    def __init__(self, parent: "ChunkedMatrix"):
+        self._parent = parent
+
+    @property
+    def shape(self) -> tuple:
+        rows, cols = self._parent.shape
+        return (cols, rows)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def T(self) -> "ChunkedMatrix":
+        return self._parent
+
+    def __matmul__(self, other: MatrixLike) -> np.ndarray:
+        return self._parent.transpose_matmul(other)
+
+    def to_dense(self) -> np.ndarray:
+        return self._parent.to_dense().T
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TransposedChunkedView(shape={self.shape})"
+
+
+class ChunkedMatrix:
+    """A matrix stored as consecutive row chunks.
+
+    The class supports exactly the operator surface the Morpheus rewrite rules
+    and the ML algorithms need: left/right matrix multiplication, the
+    aggregations, cross-product, element-wise scalar operations and scalar
+    functions.  Results that are small (aggregates, ``d x d`` Gram matrices,
+    ``d x k`` products) are returned as ordinary in-memory matrices; results
+    that are as large as the input (scalar ops, LMM outputs) are returned as
+    new :class:`ChunkedMatrix` instances, mirroring how ORE keeps large
+    intermediates in the database.
+    """
+
+    # Make NumPy defer binary operators (notably ``ndarray @ ChunkedMatrix``)
+    # to this class instead of trying to coerce it into an object array.
+    __array_ufunc__ = None
+    __array_priority__ = 1000
+
+    def __init__(self, chunks: Sequence[MatrixLike]):
+        if not chunks:
+            raise ShapeError("ChunkedMatrix requires at least one chunk")
+        widths = {ensure_2d(c).shape[1] for c in chunks}
+        if len(widths) != 1:
+            raise ShapeError(f"all chunks must have the same number of columns, got {sorted(widths)}")
+        self.chunks: List[MatrixLike] = [ensure_2d(c) for c in chunks]
+        self._n_cols = self.chunks[0].shape[1]
+        self._n_rows = sum(c.shape[0] for c in self.chunks)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_matrix(cls, matrix: MatrixLike, chunk_rows: int) -> "ChunkedMatrix":
+        """Partition an in-memory matrix into row chunks of at most *chunk_rows*."""
+        matrix = ensure_2d(matrix)
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        n = matrix.shape[0]
+        bounds = list(range(0, n, chunk_rows)) + [n]
+        chunks = [matrix[bounds[i]:bounds[i + 1], :] for i in range(len(bounds) - 1)]
+        return cls(chunks)
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return (self._n_rows, self._n_cols)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def T(self) -> "TransposedChunkedView":
+        """Lazy transpose view supporting ``T.T @ X`` style products."""
+        return TransposedChunkedView(self)
+
+    def to_matrix(self) -> MatrixLike:
+        """Concatenate all chunks into a single in-memory matrix."""
+        if all(is_sparse(c) for c in self.chunks):
+            return sp.vstack(self.chunks, format="csr")
+        return np.vstack([to_dense(c) for c in self.chunks])
+
+    def to_dense(self) -> np.ndarray:
+        return to_dense(self.to_matrix())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChunkedMatrix(shape={self.shape}, chunks={self.num_chunks})"
+
+    # -- aggregations --------------------------------------------------------
+
+    def rowsums(self) -> np.ndarray:
+        return np.vstack([la_ops.rowsums(c) for c in self.chunks])
+
+    def colsums(self) -> np.ndarray:
+        partials = [la_ops.colsums(c) for c in self.chunks]
+        return np.sum(np.vstack(partials), axis=0, keepdims=True)
+
+    def total_sum(self) -> float:
+        return float(sum(la_ops.total_sum(c) for c in self.chunks))
+
+    # -- products ------------------------------------------------------------
+
+    def matmul(self, other: MatrixLike) -> "ChunkedMatrix":
+        """Left multiplication ``self @ other``; the result stays chunked."""
+        other = ensure_2d(other)
+        if other.shape[0] != self._n_cols:
+            raise ShapeError(f"matmul: {self.shape} @ {other.shape}")
+        return ChunkedMatrix([la_ops.matmul(c, other) for c in self.chunks])
+
+    def rmatmul(self, other: MatrixLike) -> MatrixLike:
+        """Right multiplication ``other @ self`` as an in-memory matrix.
+
+        The result has as many rows as *other*, which in ML scripts is a small
+        weight/assignment matrix, so returning it in memory matches ORE usage.
+        """
+        other = ensure_2d(other)
+        if other.shape[1] != self._n_rows:
+            raise ShapeError(f"rmatmul: {other.shape} @ {self.shape}")
+        pieces = []
+        col = 0
+        for chunk in self.chunks:
+            rows = chunk.shape[0]
+            pieces.append(la_ops.matmul(other[:, col:col + rows], chunk))
+            col += rows
+        return sum(pieces[1:], pieces[0])
+
+    def crossprod(self) -> np.ndarray:
+        """Gram matrix ``self.T @ self`` accumulated one chunk at a time."""
+        acc = np.zeros((self._n_cols, self._n_cols))
+        for chunk in self.chunks:
+            acc += to_dense(la_ops.crossprod(chunk))
+        return acc
+
+    def transpose_matmul(self, other: MatrixLike) -> np.ndarray:
+        """Compute ``self.T @ other`` (with *other* row-aligned to ``self``)."""
+        other = ensure_2d(other)
+        if other.shape[0] != self._n_rows:
+            raise ShapeError(f"transpose_matmul: {self.shape}.T @ {other.shape}")
+        acc = np.zeros((self._n_cols, other.shape[1]))
+        row = 0
+        for chunk in self.chunks:
+            rows = chunk.shape[0]
+            acc += to_dense(la_ops.matmul(la_ops.transpose(chunk), other[row:row + rows, :]))
+            row += rows
+        return acc
+
+    # -- element-wise --------------------------------------------------------
+
+    def scalar_op(self, op: str, scalar: float, reverse: bool = False) -> "ChunkedMatrix":
+        return ChunkedMatrix([la_ops.scalar_op(c, op, scalar, reverse=reverse) for c in self.chunks])
+
+    def elementwise(self, fn: Callable[[np.ndarray], np.ndarray]) -> "ChunkedMatrix":
+        return ChunkedMatrix([la_ops.elementwise(c, fn) for c in self.chunks])
+
+    # -- Python operator protocol (the subset ML scripts use) ----------------
+
+    def __matmul__(self, other: MatrixLike) -> "ChunkedMatrix":
+        return self.matmul(other)
+
+    def __rmatmul__(self, other: MatrixLike) -> MatrixLike:
+        return self.rmatmul(other)
+
+    def __mul__(self, scalar: float) -> "ChunkedMatrix":
+        return self.scalar_op("*", scalar)
+
+    __rmul__ = __mul__
+
+    def __add__(self, scalar: float) -> "ChunkedMatrix":
+        return self.scalar_op("+", scalar)
+
+    __radd__ = __add__
+
+    def __sub__(self, scalar: float) -> "ChunkedMatrix":
+        return self.scalar_op("-", scalar)
+
+    def __rsub__(self, scalar: float) -> "ChunkedMatrix":
+        return self.scalar_op("-", scalar, reverse=True)
+
+    def __truediv__(self, scalar: float) -> "ChunkedMatrix":
+        return self.scalar_op("/", scalar)
+
+    def __pow__(self, scalar: float) -> "ChunkedMatrix":
+        return self.scalar_op("**", scalar)
+
+    # -- iteration -----------------------------------------------------------
+
+    def __iter__(self) -> Iterable[MatrixLike]:
+        return iter(self.chunks)

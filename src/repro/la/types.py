@@ -1,0 +1,102 @@
+"""Shared matrix type aliases and small structural predicates.
+
+The library works with three families of operand:
+
+* dense ``numpy.ndarray`` (2-D, or 1-D vectors that we promote to 2-D),
+* SciPy sparse matrices (any format; CSR is the canonical internal format),
+* the library's own logical types (``NormalizedMatrix``, ``ChunkedMatrix``).
+
+The helpers in this module normalize the first two so the rest of the code
+never needs to branch on ``isinstance`` checks scattered around.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ShapeError
+
+#: Anything accepted as a plain (non-normalized) matrix operand.
+MatrixLike = Union[np.ndarray, sp.spmatrix]
+
+
+def is_sparse(x: object) -> bool:
+    """Return ``True`` if *x* is a SciPy sparse matrix (any format)."""
+    return sp.issparse(x)
+
+
+def is_dense(x: object) -> bool:
+    """Return ``True`` if *x* is a dense NumPy ndarray."""
+    return isinstance(x, np.ndarray)
+
+
+def is_matrix_like(x: object) -> bool:
+    """Return ``True`` if *x* is a plain dense or sparse matrix."""
+    return is_dense(x) or is_sparse(x)
+
+
+def is_vector(x: object) -> bool:
+    """Return ``True`` if *x* is a 1-D array or a 2-D array with one row/column."""
+    if is_dense(x):
+        return x.ndim == 1 or (x.ndim == 2 and 1 in x.shape)
+    if is_sparse(x):
+        return 1 in x.shape
+    return False
+
+
+def ensure_2d(x: MatrixLike) -> MatrixLike:
+    """Promote 1-D dense vectors to column matrices; pass everything else through.
+
+    Sparse matrices are always 2-D already.  Raises :class:`ShapeError` for
+    inputs with more than two dimensions.
+    """
+    if is_sparse(x):
+        return x
+    arr = np.asarray(x)
+    if arr.ndim == 1:
+        return arr.reshape(-1, 1)
+    if arr.ndim == 2:
+        return arr
+    raise ShapeError(f"expected a 1-D or 2-D operand, got ndim={arr.ndim}")
+
+
+def to_dense(x: MatrixLike) -> np.ndarray:
+    """Return a dense ``ndarray`` view/copy of *x*."""
+    if is_sparse(x):
+        return np.asarray(x.todense())
+    return np.asarray(x)
+
+
+def to_sparse(x: MatrixLike, fmt: str = "csr") -> sp.spmatrix:
+    """Return *x* as a SciPy sparse matrix in the requested format."""
+    if is_sparse(x):
+        return x.asformat(fmt)
+    return sp.csr_matrix(np.atleast_2d(np.asarray(x))).asformat(fmt)
+
+
+def shape_of(x: MatrixLike) -> tuple:
+    """Return the 2-D shape of *x*, promoting 1-D vectors to column shape."""
+    if is_sparse(x):
+        return x.shape
+    arr = np.asarray(x)
+    if arr.ndim == 1:
+        return (arr.shape[0], 1)
+    return arr.shape
+
+
+def check_same_shape(a: MatrixLike, b: MatrixLike, context: str = "operation") -> None:
+    """Raise :class:`ShapeError` unless *a* and *b* have identical 2-D shapes."""
+    sa, sb = shape_of(a), shape_of(b)
+    if sa != sb:
+        raise ShapeError(f"{context}: shape mismatch {sa} vs {sb}")
+
+
+def check_matmul_shapes(a_shape: tuple, b_shape: tuple, context: str = "matmul") -> None:
+    """Raise :class:`ShapeError` unless ``a @ b`` is dimensionally valid."""
+    if a_shape[1] != b_shape[0]:
+        raise ShapeError(
+            f"{context}: inner dimensions do not agree, {a_shape} @ {b_shape}"
+        )

@@ -1,0 +1,82 @@
+"""Shared infrastructure for the LA-based ML algorithms.
+
+All estimators follow a small scikit-learn-flavoured convention: ``fit(T, ...)``
+trains in place and returns ``self``; learned state lives in attributes with a
+trailing underscore; ``max_iter`` bounds the number of LA passes so that the
+benchmark harness can compare factorized and materialized runs iteration for
+iteration.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+class IterativeEstimator(abc.ABC):
+    """Base class for gradient-style iterative estimators.
+
+    Parameters
+    ----------
+    max_iter:
+        Number of iterations (LA passes over the data matrix).
+    step_size:
+        Learning rate ``alpha`` where applicable.
+    seed:
+        Seed for any random initialization, so factorized and materialized
+        runs start from identical states and can be compared exactly.
+    track_history:
+        When true, per-iteration diagnostics (loss, objective) are appended to
+        ``history_``; tracking costs extra LA passes, so benchmarks turn it off.
+    """
+
+    def __init__(self, max_iter: int = 20, step_size: float = 1e-3,
+                 seed: Optional[int] = 0, track_history: bool = False):
+        if max_iter <= 0:
+            raise ValueError("max_iter must be positive")
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.max_iter = int(max_iter)
+        self.step_size = float(step_size)
+        self.seed = seed
+        self.track_history = bool(track_history)
+        self.history_: List[float] = []
+
+    def _rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+    @abc.abstractmethod
+    def fit(self, data, *args, **kwargs):
+        """Train the estimator; must be implemented by subclasses."""
+
+
+def as_column(y) -> np.ndarray:
+    """Coerce a target vector to a dense ``(n, 1)`` float column."""
+    arr = np.asarray(y, dtype=np.float64)
+    if arr.ndim == 1:
+        return arr.reshape(-1, 1)
+    if arr.ndim == 2 and arr.shape[1] == 1:
+        return arr
+    raise ShapeError(f"expected a target vector, got shape {arr.shape}")
+
+
+def check_rows_match(data, y: np.ndarray, context: str) -> None:
+    """Raise :class:`ShapeError` unless the data matrix and target align."""
+    if data.shape[0] != y.shape[0]:
+        raise ShapeError(
+            f"{context}: data matrix has {data.shape[0]} rows but target has {y.shape[0]}"
+        )
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out

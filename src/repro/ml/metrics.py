@@ -1,0 +1,85 @@
+"""Evaluation metrics for the four ML algorithms.
+
+The paper verifies (footnote 7) that factorization does not change ML
+accuracy; these metrics are what the test suite and examples use to make that
+check concrete -- the factorized and materialized models must produce the same
+metric values, and the examples report them to show the models actually learn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def _flatten_pair(y_true, y_pred) -> tuple:
+    a = np.asarray(y_true, dtype=np.float64).ravel()
+    b = np.asarray(y_pred, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ShapeError(f"metric inputs have different lengths: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exactly matching labels."""
+    a, b = _flatten_pair(y_true, y_pred)
+    if a.size == 0:
+        raise ShapeError("accuracy of empty inputs is undefined")
+    return float(np.mean(a == b))
+
+
+def log_loss(y_true, probabilities, eps: float = 1e-12) -> float:
+    """Binary cross-entropy for labels in ``{-1, +1}`` or ``{0, 1}``."""
+    y, p = _flatten_pair(y_true, probabilities)
+    if y.size == 0:
+        raise ShapeError("log loss of empty inputs is undefined")
+    y01 = np.where(y > 0, 1.0, 0.0)
+    p = np.clip(p, eps, 1.0 - eps)
+    return float(-np.mean(y01 * np.log(p) + (1.0 - y01) * np.log(1.0 - p)))
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Average squared residual."""
+    a, b = _flatten_pair(y_true, y_pred)
+    if a.size == 0:
+        raise ShapeError("MSE of empty inputs is undefined")
+    return float(np.mean((a - b) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred) -> float:
+    """Square root of the mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (1 is perfect, 0 is the mean predictor)."""
+    a, b = _flatten_pair(y_true, y_pred)
+    if a.size == 0:
+        raise ShapeError("R^2 of empty inputs is undefined")
+    ss_res = float(np.sum((a - b) ** 2))
+    ss_tot = float(np.sum((a - np.mean(a)) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def within_cluster_ss(data, labels, centroids) -> float:
+    """Within-cluster sum of squares for a K-Means solution.
+
+    *data* may be a normalized matrix (it is densified), *labels* is an
+    ``(n,)`` integer assignment and *centroids* the ``(d, k)`` centroid matrix.
+    """
+    dense = data.to_dense() if hasattr(data, "to_dense") else np.asarray(data, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    centroids = np.asarray(centroids, dtype=np.float64)
+    if dense.shape[0] != labels.shape[0]:
+        raise ShapeError("labels do not align with the data matrix rows")
+    diffs = dense - centroids[:, labels].T
+    return float(np.sum(diffs ** 2))
+
+
+def reconstruction_error(data, w, h) -> float:
+    """Frobenius-norm error of a GNMF factorization ``|| T - W H^T ||_F``."""
+    dense = data.to_dense() if hasattr(data, "to_dense") else np.asarray(data, dtype=np.float64)
+    return float(np.linalg.norm(dense - np.asarray(w) @ np.asarray(h).T))

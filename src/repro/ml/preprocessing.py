@@ -1,0 +1,57 @@
+"""Small preprocessing helpers shared by the examples and benchmarks.
+
+These operate on *regular* matrices and targets (base-table feature matrices
+before they are wrapped in a normalized matrix), mirroring how the paper's
+experiments binarize the numeric targets of the real datasets for logistic
+regression and keep them as-is for K-Means/GNMF.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def binarize_labels(values, threshold: Optional[float] = None) -> np.ndarray:
+    """Map a numeric target to ``{-1, +1}`` by thresholding (default: the median).
+
+    This is how the paper turns the numeric targets of the real datasets into
+    binary classification labels for logistic regression.
+    """
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    if arr.size == 0:
+        raise ShapeError("cannot binarize an empty target")
+    cut = float(np.median(arr)) if threshold is None else float(threshold)
+    return np.where(arr > cut, 1.0, -1.0).reshape(-1, 1)
+
+
+def standardize(matrix, epsilon: float = 1e-12) -> np.ndarray:
+    """Column-wise standardization (zero mean, unit variance) of a dense matrix."""
+    dense = np.asarray(matrix, dtype=np.float64)
+    if dense.ndim != 2:
+        raise ShapeError("standardize expects a 2-D matrix")
+    mean = dense.mean(axis=0, keepdims=True)
+    std = dense.std(axis=0, keepdims=True)
+    return (dense - mean) / (std + epsilon)
+
+
+def train_test_split_rows(num_rows: int, test_fraction: float = 0.2,
+                          seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Return shuffled train/test row-index arrays.
+
+    Splitting happens on the *entity table* rows so the attribute tables (and
+    hence the normalized matrix structure) are untouched.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if num_rows <= 1:
+        raise ShapeError("need at least two rows to split")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(num_rows)
+    cut = max(1, int(round(num_rows * test_fraction)))
+    test_idx = np.sort(order[:cut])
+    train_idx = np.sort(order[cut:])
+    return train_idx, test_idx

@@ -1,0 +1,73 @@
+"""CSV input/output for :class:`~repro.relational.table.Table`.
+
+The paper's quickstart constructs the normalized matrix from two CSV files
+(``read.csv`` in R).  This module provides the equivalent so the examples can
+follow the same shape: ``read_csv`` infers numeric columns automatically and
+returns a :class:`Table`; ``write_csv`` round-trips it.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.relational.table import Table
+
+PathLike = Union[str, Path]
+
+
+def _coerce_column(values: List[str]) -> np.ndarray:
+    """Convert a list of strings to float64 when every entry parses, else keep strings."""
+    try:
+        return np.asarray([float(v) for v in values], dtype=np.float64)
+    except ValueError:
+        return np.asarray(values, dtype=object)
+
+
+def read_csv(path: PathLike, name: Optional[str] = None,
+             numeric_columns: Optional[Sequence[str]] = None) -> Table:
+    """Read a CSV file with a header row into a :class:`Table`.
+
+    Column types are inferred: a column where every value parses as a float is
+    numeric, everything else is kept as strings (and will be one-hot encoded
+    by :func:`repro.relational.encoding.encode_features`).  Pass
+    *numeric_columns* to force specific columns to be parsed as numbers.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {path} is empty") from None
+        raw: Dict[str, List[str]] = {col: [] for col in header}
+        for row in reader:
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"CSV file {path}: row with {len(row)} fields, expected {len(header)}"
+                )
+            for col, value in zip(header, row):
+                raw[col].append(value)
+    columns: Dict[str, np.ndarray] = {}
+    for col, values in raw.items():
+        if numeric_columns is not None and col in numeric_columns:
+            columns[col] = np.asarray([float(v) for v in values], dtype=np.float64)
+        else:
+            columns[col] = _coerce_column(values)
+    return Table(name or path.stem, columns)
+
+
+def write_csv(table: Table, path: PathLike) -> None:
+    """Write a :class:`Table` to a CSV file with a header row."""
+    path = Path(path)
+    names = table.column_names
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(table.num_rows):
+            row = table.row(i)
+            writer.writerow([row[c] for c in names])

@@ -1,0 +1,153 @@
+"""Schema metadata for the relational substrate.
+
+Schemas are deliberately lightweight: enough structure to describe the
+star-schema PK-FK layouts and M:N joins the paper targets, validate them, and
+drive indicator-matrix construction -- not a full SQL catalog.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """Logical column types used by the feature encoder.
+
+    ``NUMERIC`` columns become a single dense feature; ``CATEGORICAL`` columns
+    are one-hot encoded into one sparse feature per distinct value; ``KEY``
+    columns identify rows (primary keys) or reference them (foreign keys) and
+    are never encoded as features unless explicitly requested; ``TARGET``
+    marks the supervised-learning label ``Y``.
+    """
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+    KEY = "key"
+    TARGET = "target"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column: a name plus its logical type."""
+
+    name: str
+    ctype: ColumnType = ColumnType.NUMERIC
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge from an entity-table column to an attribute table.
+
+    Attributes
+    ----------
+    column:
+        Name of the foreign-key column in the referencing (entity) table.
+    references_table:
+        Name of the referenced attribute table.
+    references_column:
+        Name of the primary-key column in the referenced table.
+    """
+
+    column: str
+    references_table: str
+    references_column: str
+
+
+@dataclass
+class TableSchema:
+    """Schema of one table: ordered columns plus key metadata."""
+
+    name: str
+    columns: List[Column]
+    primary_key: Optional[str] = None
+    foreign_keys: List[ForeignKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("table name must be non-empty")
+        names = [c.name for c in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"table {self.name!r} has duplicate column names")
+        if self.primary_key is not None and self.primary_key not in names:
+            raise SchemaError(
+                f"table {self.name!r}: primary key {self.primary_key!r} is not a column"
+            )
+        for fk in self.foreign_keys:
+            if fk.column not in names:
+                raise SchemaError(
+                    f"table {self.name!r}: foreign key column {fk.column!r} is not a column"
+                )
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def feature_columns(self) -> List[Column]:
+        """Columns that should be encoded as features (numeric + categorical)."""
+        return [c for c in self.columns if c.ctype in (ColumnType.NUMERIC, ColumnType.CATEGORICAL)]
+
+    def target_column(self) -> Optional[Column]:
+        targets = [c for c in self.columns if c.ctype is ColumnType.TARGET]
+        if len(targets) > 1:
+            raise SchemaError(f"table {self.name!r} declares more than one target column")
+        return targets[0] if targets else None
+
+
+@dataclass
+class StarSchema:
+    """A star schema: one entity table plus one or more attribute tables.
+
+    This mirrors the paper's multi-table setting (Section 3.5): the entity
+    table ``S`` has ``q`` foreign keys, each referencing the primary key of an
+    attribute table ``R_i``.  The class validates the referential structure and
+    exposes the foreign-key edges in a stable order so that indicator matrices
+    ``K_1 .. K_q`` and attribute matrices ``R_1 .. R_q`` line up.
+    """
+
+    entity: TableSchema
+    attributes: Dict[str, TableSchema]
+
+    def __post_init__(self) -> None:
+        if not self.entity.foreign_keys:
+            raise SchemaError(
+                f"entity table {self.entity.name!r} declares no foreign keys; a star schema needs at least one"
+            )
+        for fk in self.entity.foreign_keys:
+            if fk.references_table not in self.attributes:
+                raise SchemaError(
+                    f"foreign key {fk.column!r} references unknown table {fk.references_table!r}"
+                )
+            ref = self.attributes[fk.references_table]
+            if ref.primary_key is None:
+                raise SchemaError(
+                    f"attribute table {ref.name!r} must declare a primary key"
+                )
+            if fk.references_column != ref.primary_key:
+                raise SchemaError(
+                    f"foreign key {fk.column!r} must reference the primary key of {ref.name!r}"
+                )
+
+    @property
+    def foreign_keys(self) -> Sequence[ForeignKey]:
+        return list(self.entity.foreign_keys)
+
+    @property
+    def num_attribute_tables(self) -> int:
+        return len(self.entity.foreign_keys)
+
+    def attribute_schema(self, fk: ForeignKey) -> TableSchema:
+        return self.attributes[fk.references_table]

@@ -1,0 +1,167 @@
+"""A small column-oriented table.
+
+:class:`Table` is the unit the relational substrate manipulates: an ordered
+set of named columns, each a 1-D NumPy array of equal length, plus an optional
+:class:`~repro.relational.schema.TableSchema` describing column roles and key
+constraints.  It intentionally supports only the operations the Morpheus
+pipeline needs -- projection, selection, row lookup by key, and conversion of
+feature columns to matrices -- rather than a general query engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import Column, ColumnType, TableSchema
+
+
+class Table:
+    """A named, column-oriented table with equal-length column arrays."""
+
+    def __init__(self, name: str, columns: Mapping[str, Sequence],
+                 schema: Optional[TableSchema] = None):
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self.name = name
+        self._columns: Dict[str, np.ndarray] = {}
+        length = None
+        for col_name, values in columns.items():
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise SchemaError(f"column {col_name!r} must be one-dimensional")
+            if length is None:
+                length = arr.shape[0]
+            elif arr.shape[0] != length:
+                raise SchemaError(
+                    f"column {col_name!r} has {arr.shape[0]} rows, expected {length}"
+                )
+            self._columns[col_name] = arr
+        self._num_rows = int(length or 0)
+        self.schema = schema or self._infer_schema()
+        missing = [c for c in self.schema.column_names if c not in self._columns]
+        if missing:
+            raise SchemaError(f"table {name!r} is missing schema columns {missing}")
+
+    # -- construction helpers -------------------------------------------------
+
+    def _infer_schema(self) -> TableSchema:
+        """Build a best-effort schema: numeric dtypes are numeric, rest categorical."""
+        cols = []
+        for col_name, arr in self._columns.items():
+            if np.issubdtype(arr.dtype, np.number):
+                cols.append(Column(col_name, ColumnType.NUMERIC))
+            else:
+                cols.append(Column(col_name, ColumnType.CATEGORICAL))
+        return TableSchema(name=self.name, columns=cols)
+
+    @classmethod
+    def from_records(cls, name: str, records: Iterable[Mapping],
+                     schema: Optional[TableSchema] = None) -> "Table":
+        """Build a table from an iterable of row dictionaries."""
+        records = list(records)
+        if not records:
+            raise SchemaError(f"table {name!r}: cannot build from zero records")
+        col_names = list(records[0].keys())
+        columns = {c: [r[c] for r in records] for c in col_names}
+        return cls(name, columns, schema=schema)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns.keys())
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self._columns:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        return self._columns[name]
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self.num_rows}, columns={self.column_names})"
+
+    # -- relational operations -------------------------------------------------
+
+    def project(self, column_names: Sequence[str]) -> "Table":
+        """Return a new table with only the requested columns (preserving order)."""
+        missing = [c for c in column_names if c not in self._columns]
+        if missing:
+            raise SchemaError(f"table {self.name!r} has no columns {missing}")
+        cols = {c: self._columns[c] for c in column_names}
+        return Table(self.name, cols)
+
+    def select_rows(self, row_indices: Sequence[int]) -> "Table":
+        """Return a new table containing only the rows at *row_indices* (in order)."""
+        idx = np.asarray(row_indices, dtype=np.int64)
+        cols = {c: arr[idx] for c, arr in self._columns.items()}
+        return Table(self.name, cols, schema=self.schema)
+
+    def row(self, index: int) -> Dict[str, object]:
+        """Return one row as a plain dictionary."""
+        if not 0 <= index < self._num_rows:
+            raise IndexError(f"row index {index} out of range for {self._num_rows} rows")
+        return {c: arr[index] for c, arr in self._columns.items()}
+
+    def with_column(self, name: str, values: Sequence) -> "Table":
+        """Return a copy of the table with an extra (or replaced) column."""
+        cols = dict(self._columns)
+        cols[name] = np.asarray(values)
+        return Table(self.name, cols)
+
+    # -- key utilities ----------------------------------------------------------
+
+    def key_position_index(self, key_column: str) -> Dict[object, int]:
+        """Map each value of *key_column* to its (unique) row position.
+
+        Raises :class:`SchemaError` when the column contains duplicates, since
+        a primary key must identify rows uniquely.
+        """
+        values = self.column(key_column)
+        index: Dict[object, int] = {}
+        for pos, value in enumerate(values.tolist()):
+            if value in index:
+                raise SchemaError(
+                    f"table {self.name!r}: duplicate primary key value {value!r} in column {key_column!r}"
+                )
+            index[value] = pos
+        return index
+
+    def group_positions(self, column_name: str) -> Dict[object, List[int]]:
+        """Map each distinct value of a column to the list of row positions holding it."""
+        groups: Dict[object, List[int]] = {}
+        for pos, value in enumerate(self.column(column_name).tolist()):
+            groups.setdefault(value, []).append(pos)
+        return groups
+
+    # -- matrix conversion -------------------------------------------------------
+
+    def numeric_matrix(self, column_names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Stack numeric columns into an ``(n, d)`` dense float matrix."""
+        names = list(column_names) if column_names is not None else [
+            c.name for c in self.schema.columns if c.ctype is ColumnType.NUMERIC
+        ]
+        if not names:
+            return np.zeros((self._num_rows, 0))
+        arrays = []
+        for name in names:
+            arr = self.column(name)
+            if not np.issubdtype(arr.dtype, np.number):
+                raise SchemaError(f"column {name!r} is not numeric")
+            arrays.append(arr.astype(np.float64))
+        return np.column_stack(arrays)

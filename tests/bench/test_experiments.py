@@ -1,0 +1,100 @@
+"""Tests for the per-figure / per-table experiment definitions."""
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments
+
+
+class TestOperatorExperimentDefinitions:
+    def test_pk_fk_operator_set_covers_table_one(self):
+        names = {e.name for e in experiments.pk_fk_operator_experiments()}
+        assert {"scalar_multiplication", "lmm", "rmm", "crossprod", "pseudoinverse",
+                "rowsums", "colsums", "sum"}.issubset(names)
+
+    def test_mn_operator_set(self):
+        names = {e.name for e in experiments.mn_operator_experiments()}
+        assert {"lmm", "rmm", "crossprod"}.issubset(names)
+
+    @pytest.mark.parametrize("experiment", experiments.pk_fk_operator_experiments(),
+                             ids=lambda e: e.name)
+    def test_pk_fk_factorized_equals_materialized(self, experiment):
+        dataset = experiments.build_pk_fk_dataset(tuple_ratio=4, feature_ratio=2,
+                                                  num_attribute_rows=30,
+                                                  num_entity_features=5)
+        materialized_result = experiment.materialized_fn(dataset.materialized)
+        factorized_result = experiment.factorized_fn(dataset.normalized)
+        factorized_dense = (factorized_result.to_dense()
+                            if hasattr(factorized_result, "to_dense") else factorized_result)
+        assert np.allclose(np.asarray(materialized_result).ravel(),
+                           np.asarray(factorized_dense).ravel(), atol=1e-6)
+
+    @pytest.mark.parametrize("experiment", experiments.mn_operator_experiments(),
+                             ids=lambda e: e.name)
+    def test_mn_factorized_equals_materialized(self, experiment):
+        dataset = experiments.build_mn_dataset(uniqueness_degree=0.2, num_rows=40,
+                                               num_features=6)
+        materialized_result = experiment.materialized_fn(dataset.materialized)
+        factorized_result = experiment.factorized_fn(dataset.normalized)
+        factorized_dense = (factorized_result.to_dense()
+                            if hasattr(factorized_result, "to_dense") else factorized_result)
+        assert np.allclose(np.asarray(materialized_result).ravel(),
+                           np.asarray(factorized_dense).ravel(), atol=1e-7)
+
+
+class TestDatasetBuilders:
+    def test_build_pk_fk_dataset_ratios(self):
+        dataset = experiments.build_pk_fk_dataset(tuple_ratio=6, feature_ratio=2,
+                                                  num_attribute_rows=50)
+        assert dataset.tuple_ratio == pytest.approx(6.0)
+        assert dataset.feature_ratio == pytest.approx(2.0)
+
+    def test_build_mn_dataset_domain(self):
+        dataset = experiments.build_mn_dataset(uniqueness_degree=0.1, num_rows=50, num_features=4)
+        assert dataset.config.domain_size == 5
+
+
+class TestSweeps:
+    def test_pk_fk_sweep_runs_grid(self):
+        experiment = experiments.pk_fk_operator_experiments()[0]
+        results = experiments.run_pk_fk_operator_sweep(
+            experiment, tuple_ratios=[2, 4], feature_ratios=[1, 2],
+            num_attribute_rows=25, repeats=1)
+        assert len(results) == 4
+        assert all(r.factorized_seconds > 0 for r in results)
+
+    def test_mn_sweep_runs_grid(self):
+        experiment = experiments.mn_operator_experiments()[0]
+        results = experiments.run_mn_operator_sweep(
+            experiment, uniqueness_degrees=[0.2, 0.5], num_rows=40, num_features=5, repeats=1)
+        assert len(results) == 2
+        assert {r.parameters["uniqueness_degree"] for r in results} == {0.2, 0.5}
+
+
+class TestDecisionRuleConfusion:
+    def _result(self, tr, fr, speedup):
+        from repro.bench.harness import SpeedupResult
+        return SpeedupResult({"tuple_ratio": tr, "feature_ratio": fr}, speedup, 1.0)
+
+    def test_counts_sum_to_total(self):
+        results = [self._result(10, 2, 3.0), self._result(1, 0.5, 0.5),
+                   self._result(10, 2, 0.8), self._result(1, 0.5, 1.5)]
+        counts = experiments.decision_rule_confusion(results)
+        assert sum(counts.values()) == 4
+
+    def test_true_positive(self):
+        counts = experiments.decision_rule_confusion([self._result(10, 2, 3.0)])
+        assert counts["true_positive"] == 1
+
+    def test_true_negative(self):
+        counts = experiments.decision_rule_confusion([self._result(1, 0.5, 0.5)])
+        assert counts["true_negative"] == 1
+
+    def test_false_negative_is_conservative_miss(self):
+        counts = experiments.decision_rule_confusion([self._result(1, 4, 2.0)])
+        assert counts["false_negative"] == 1
+
+    def test_custom_thresholds(self):
+        counts = experiments.decision_rule_confusion([self._result(3, 2, 2.0)],
+                                                     tuple_ratio_threshold=2.0)
+        assert counts["true_positive"] == 1

@@ -1,0 +1,69 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import SpeedupResult, TimingResult, cartesian, compare, measure, sweep_grid
+
+
+class TestMeasure:
+    def test_collects_requested_repeats(self):
+        result = measure(lambda: sum(range(100)), label="toy", repeats=4, warmup=0)
+        assert len(result.seconds) == 4
+        assert result.label == "toy"
+
+    def test_best_and_mean(self):
+        result = TimingResult(label="x", seconds=[0.2, 0.1, 0.3])
+        assert result.best == pytest.approx(0.1)
+        assert result.mean == pytest.approx(0.2)
+
+    def test_empty_timing_is_nan(self):
+        import math
+        assert math.isnan(TimingResult(label="x").best)
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+    def test_warmup_runs_execute(self):
+        calls = []
+        measure(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
+
+
+class TestCompare:
+    def test_speedup_computed(self):
+        result = SpeedupResult(parameters={"tr": 5}, materialized_seconds=1.0,
+                               factorized_seconds=0.25)
+        assert result.speedup == pytest.approx(4.0)
+
+    def test_zero_factorized_time(self):
+        result = SpeedupResult(parameters={}, materialized_seconds=1.0, factorized_seconds=0.0)
+        assert result.speedup == float("inf")
+
+    def test_compare_runs_both_sides(self):
+        counter = {"m": 0, "f": 0}
+
+        def materialized():
+            counter["m"] += 1
+
+        def factorized():
+            counter["f"] += 1
+
+        result = compare(materialized, factorized, parameters={"x": 1}, repeats=2, warmup=1)
+        assert counter["m"] == 3 and counter["f"] == 3
+        assert result.parameters == {"x": 1}
+
+
+class TestSweeps:
+    def test_cartesian_grid(self):
+        grid = cartesian(a=[1, 2], b=[10, 20, 30])
+        assert len(grid) == 6
+        assert {"a": 1, "b": 30} in grid
+
+    def test_cartesian_single_axis(self):
+        assert cartesian(a=[1, 2, 3]) == [{"a": 1}, {"a": 2}, {"a": 3}]
+
+    def test_sweep_grid_applies_runner(self):
+        grid = cartesian(a=[1, 2])
+        results = sweep_grid(grid, lambda p: SpeedupResult(p, p["a"] * 1.0, 1.0))
+        assert [r.speedup for r in results] == [1.0, 2.0]

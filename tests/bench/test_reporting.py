@@ -1,0 +1,75 @@
+"""Tests for benchmark report rendering."""
+
+from repro.bench.harness import SpeedupResult
+from repro.bench.reporting import (
+    format_speedup_grid,
+    format_speedup_rows,
+    format_table,
+    print_report,
+)
+
+
+def sample_results():
+    return [
+        SpeedupResult({"tuple_ratio": 5, "feature_ratio": 1}, 1.0, 0.5),
+        SpeedupResult({"tuple_ratio": 5, "feature_ratio": 2}, 1.0, 0.25),
+        SpeedupResult({"tuple_ratio": 10, "feature_ratio": 1}, 2.0, 0.5),
+        SpeedupResult({"tuple_ratio": 10, "feature_ratio": 2}, 2.0, 0.25),
+    ]
+
+
+class TestFormatTable:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["name", "value"], [["a", 1], ["b", 22]])
+        assert "name" in text and "value" in text
+        assert "a" in text and "22" in text
+
+    def test_column_alignment(self):
+        text = format_table(["x"], [["longvalue"], ["s"]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text
+
+
+class TestSpeedupGrid:
+    def test_grid_dimensions(self):
+        text = format_speedup_grid(sample_results(), row_key="feature_ratio",
+                                   col_key="tuple_ratio")
+        lines = text.splitlines()
+        # header + separator + one line per feature ratio
+        assert len(lines) == 4
+
+    def test_grid_values(self):
+        text = format_speedup_grid(sample_results(), row_key="feature_ratio",
+                                   col_key="tuple_ratio")
+        assert "2.00x" in text
+        assert "8.00x" in text
+
+    def test_missing_cell_rendered_as_dash(self):
+        results = sample_results()[:-1]
+        text = format_speedup_grid(results, row_key="feature_ratio", col_key="tuple_ratio")
+        assert "-" in text
+
+
+class TestSpeedupRows:
+    def test_rows_contain_parameters_and_speedups(self):
+        text = format_speedup_rows(sample_results(), ["tuple_ratio", "feature_ratio"])
+        assert "speedup" in text
+        assert "4.00x" in text
+
+    def test_runtime_columns_present(self):
+        text = format_speedup_rows(sample_results(), ["tuple_ratio"])
+        assert "materialized (s)" in text
+        assert "factorized (s)" in text
+
+
+class TestPrintReport:
+    def test_prints_title_and_body(self, capsys):
+        print_report("Figure 3", "body text")
+        captured = capsys.readouterr().out
+        assert "Figure 3" in captured
+        assert "body text" in captured
+        assert "=" in captured

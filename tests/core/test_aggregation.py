@@ -1,0 +1,114 @@
+"""Tests for the aggregation rewrite rules (paper Section 3.3.2)."""
+
+import numpy as np
+import pytest
+
+
+class TestRowSums:
+    def test_single_join(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.rowsums().ravel(), materialized.sum(axis=1))
+
+    def test_multi_join(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        assert np.allclose(normalized.rowsums().ravel(), materialized.sum(axis=1))
+
+    def test_sparse(self, single_join_sparse):
+        normalized, dense = single_join_sparse
+        assert np.allclose(normalized.rowsums().ravel(), dense.sum(axis=1))
+
+    def test_no_entity_features(self, no_entity_features):
+        normalized, dense = no_entity_features
+        assert np.allclose(normalized.rowsums().ravel(), dense.sum(axis=1))
+
+    def test_shape_is_column(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert normalized.rowsums().shape == (materialized.shape[0], 1)
+
+    def test_transposed(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.T.rowsums().ravel(), materialized.T.sum(axis=1))
+
+
+class TestColSums:
+    def test_single_join(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.colsums().ravel(), materialized.sum(axis=0))
+
+    def test_multi_join(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        assert np.allclose(normalized.colsums().ravel(), materialized.sum(axis=0))
+
+    def test_sparse(self, single_join_sparse):
+        normalized, dense = single_join_sparse
+        assert np.allclose(normalized.colsums().ravel(), dense.sum(axis=0))
+
+    def test_no_entity_features(self, no_entity_features):
+        normalized, dense = no_entity_features
+        assert np.allclose(normalized.colsums().ravel(), dense.sum(axis=0))
+
+    def test_shape_is_row(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert normalized.colsums().shape == (1, materialized.shape[1])
+
+    def test_transposed(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.T.colsums().ravel(), materialized.T.sum(axis=0))
+
+
+class TestTotalSum:
+    def test_single_join(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.isclose(normalized.total_sum(), materialized.sum())
+
+    def test_multi_join(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        assert np.isclose(normalized.total_sum(), materialized.sum())
+
+    def test_sparse(self, single_join_sparse):
+        normalized, dense = single_join_sparse
+        assert np.isclose(normalized.total_sum(), dense.sum())
+
+    def test_transposed_sum_equals_sum(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        assert np.isclose(normalized.T.total_sum(), normalized.total_sum())
+
+    def test_consistency_with_row_and_col_sums(self, multi_join_dense):
+        _, normalized, _ = multi_join_dense
+        assert np.isclose(normalized.rowsums().sum(), normalized.total_sum())
+        assert np.isclose(normalized.colsums().sum(), normalized.total_sum())
+
+
+class TestNumpyStyleSum:
+    def test_axis_none(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.isclose(normalized.sum(), materialized.sum())
+
+    def test_axis_zero(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.sum(axis=0).ravel(), materialized.sum(axis=0))
+
+    def test_axis_one(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.sum(axis=1).ravel(), materialized.sum(axis=1))
+
+    def test_invalid_axis(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(ValueError):
+            normalized.sum(axis=2)
+
+
+class TestAggregationAfterScalarOps:
+    """Aggregations compose with scalar rewrites (rowSums(T^2) is the K-Means idiom)."""
+
+    def test_rowsums_of_square(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose((normalized ** 2).rowsums().ravel(), (materialized ** 2).sum(axis=1))
+
+    def test_colsums_of_scaled(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        assert np.allclose((normalized * 3.0).colsums().ravel(), (materialized * 3.0).sum(axis=0))
+
+    def test_sum_of_exp(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.isclose((normalized.apply(np.exp)).total_sum(), np.exp(materialized).sum())

@@ -1,0 +1,108 @@
+"""Tests for the heuristic decision rule and the morpheus factory (Sections 3.7 / 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision import (
+    DEFAULT_FEATURE_RATIO_THRESHOLD,
+    DEFAULT_TUPLE_RATIO_THRESHOLD,
+    DecisionRule,
+    morpheus,
+    morpheus_mn,
+    should_factorize,
+)
+from repro.core.mn_matrix import MNNormalizedMatrix
+from repro.core.normalized_matrix import NormalizedMatrix
+
+
+class TestDecisionRule:
+    def test_default_thresholds_match_paper(self):
+        rule = DecisionRule()
+        assert rule.tuple_ratio_threshold == 5.0 == DEFAULT_TUPLE_RATIO_THRESHOLD
+        assert rule.feature_ratio_threshold == 1.0 == DEFAULT_FEATURE_RATIO_THRESHOLD
+
+    def test_factorize_in_redundant_region(self):
+        assert DecisionRule().predict(tuple_ratio=10, feature_ratio=2)
+
+    def test_materialize_when_tuple_ratio_low(self):
+        assert not DecisionRule().predict(tuple_ratio=2, feature_ratio=4)
+
+    def test_materialize_when_feature_ratio_low(self):
+        assert not DecisionRule().predict(tuple_ratio=20, feature_ratio=0.5)
+
+    def test_rule_is_disjunctive(self):
+        # Both ratios low -> still materialize (no double counting).
+        assert not DecisionRule().predict(tuple_ratio=1, feature_ratio=0.1)
+
+    def test_boundary_values_factorize(self):
+        assert DecisionRule().predict(tuple_ratio=5.0, feature_ratio=1.0)
+
+    def test_just_below_boundary_materializes(self):
+        assert not DecisionRule().predict(tuple_ratio=4.999, feature_ratio=1.0)
+        assert not DecisionRule().predict(tuple_ratio=5.0, feature_ratio=0.999)
+
+    def test_custom_thresholds(self):
+        rule = DecisionRule(tuple_ratio_threshold=2, feature_ratio_threshold=0.5)
+        assert rule.predict(tuple_ratio=3, feature_ratio=0.6)
+
+    def test_explain_mentions_decision(self):
+        text = DecisionRule().explain(10, 2)
+        assert "factorize" in text
+        text = DecisionRule().explain(1, 0.1)
+        assert "materialize" in text
+
+    def test_module_level_wrapper(self):
+        assert should_factorize(10, 2)
+        assert not should_factorize(1, 2)
+        assert should_factorize(1, 2, rule=DecisionRule(tuple_ratio_threshold=0.5))
+
+
+class TestMorpheusFactory:
+    def test_returns_normalized_when_redundant(self, single_join_dense):
+        dataset, _, _ = single_join_dense
+        # TR = 6, FR = 2: above both thresholds.
+        out = morpheus(dataset.entity, dataset.indicators, dataset.attributes)
+        assert isinstance(out, NormalizedMatrix)
+
+    def test_returns_materialized_when_not_redundant(self, single_join_dense):
+        dataset, _, materialized = single_join_dense
+        strict = DecisionRule(tuple_ratio_threshold=100.0)
+        out = morpheus(dataset.entity, dataset.indicators, dataset.attributes, rule=strict)
+        assert isinstance(out, np.ndarray)
+        assert np.allclose(out, materialized)
+
+    def test_force_factorized_overrides_rule(self, single_join_dense):
+        dataset, _, _ = single_join_dense
+        strict = DecisionRule(tuple_ratio_threshold=100.0)
+        out = morpheus(dataset.entity, dataset.indicators, dataset.attributes,
+                       rule=strict, force_factorized=True)
+        assert isinstance(out, NormalizedMatrix)
+
+    def test_factory_output_is_numerically_correct(self, single_join_dense):
+        dataset, _, materialized = single_join_dense
+        out = morpheus(dataset.entity, dataset.indicators, dataset.attributes)
+        assert np.allclose(out.to_dense(), materialized)
+
+
+class TestMorpheusMNFactory:
+    def test_returns_normalized_for_high_redundancy(self, mn_dataset):
+        dataset, _, _ = mn_dataset
+        out = morpheus_mn([dataset.left_indicator, dataset.right_indicator],
+                          [dataset.left, dataset.right])
+        assert isinstance(out, MNNormalizedMatrix)
+
+    def test_returns_materialized_below_threshold(self, mn_dataset):
+        dataset, normalized, materialized = mn_dataset
+        threshold = normalized.redundancy_ratio() + 1.0
+        out = morpheus_mn([dataset.left_indicator, dataset.right_indicator],
+                          [dataset.left, dataset.right],
+                          redundancy_threshold=threshold)
+        assert isinstance(out, np.ndarray)
+        assert np.allclose(out, materialized)
+
+    def test_force_factorized(self, mn_dataset):
+        dataset, _, _ = mn_dataset
+        out = morpheus_mn([dataset.left_indicator, dataset.right_indicator],
+                          [dataset.left, dataset.right],
+                          redundancy_threshold=1e9, force_factorized=True)
+        assert isinstance(out, MNNormalizedMatrix)

@@ -1,0 +1,116 @@
+"""Tests for the pseudo-inverse rewrite rules (paper Section 3.3.6, Appendix B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalized_matrix import NormalizedMatrix
+from repro.core.rewrite.inversion import _is_full_rank
+from repro.la.ops import indicator_from_labels
+
+
+def pseudo_inverse_properties(matrix: np.ndarray, pinv: np.ndarray) -> None:
+    """Assert the four Moore-Penrose conditions."""
+    assert np.allclose(matrix @ pinv @ matrix, matrix, atol=1e-7)
+    assert np.allclose(pinv @ matrix @ pinv, pinv, atol=1e-7)
+    assert np.allclose((matrix @ pinv).T, matrix @ pinv, atol=1e-7)
+    assert np.allclose((pinv @ matrix).T, pinv @ matrix, atol=1e-7)
+
+
+class TestGinvTallMatrix:
+    def test_matches_numpy_pinv(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.ginv(), np.linalg.pinv(materialized), atol=1e-7)
+
+    def test_moore_penrose_conditions(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        pseudo_inverse_properties(materialized, normalized.ginv())
+
+    def test_multi_join(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        assert np.allclose(normalized.ginv(), np.linalg.pinv(materialized), atol=1e-7)
+
+    def test_no_entity_features(self, no_entity_features):
+        normalized, dense = no_entity_features
+        assert np.allclose(normalized.ginv(), np.linalg.pinv(dense), atol=1e-7)
+
+    def test_output_shape(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert normalized.ginv().shape == (materialized.shape[1], materialized.shape[0])
+
+
+class TestGinvWideMatrix:
+    def _wide_normalized(self):
+        rng = np.random.default_rng(17)
+        n_s, d_s, n_r, d_r = 8, 4, 4, 9  # d = 13 > n = 8
+        entity = rng.standard_normal((n_s, d_s))
+        attribute = rng.standard_normal((n_r, d_r))
+        labels = np.concatenate([np.arange(n_r), rng.integers(0, n_r, size=n_s - n_r)])
+        indicator = indicator_from_labels(labels, num_columns=n_r)
+        normalized = NormalizedMatrix(entity, [indicator], [attribute])
+        return normalized, np.asarray(normalized.materialize())
+
+    def test_matches_numpy_pinv(self):
+        normalized, materialized = self._wide_normalized()
+        assert np.allclose(normalized.ginv(), np.linalg.pinv(materialized), atol=1e-7)
+
+    def test_moore_penrose_conditions(self):
+        normalized, materialized = self._wide_normalized()
+        pseudo_inverse_properties(materialized, normalized.ginv())
+
+
+class TestGinvTransposed:
+    def test_transposed_matches_pinv_of_transpose(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.T.ginv(), np.linalg.pinv(materialized.T), atol=1e-7)
+
+    def test_ginv_of_transpose_is_transpose_of_ginv(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        assert np.allclose(normalized.T.ginv(), normalized.ginv().T, atol=1e-9)
+
+
+class TestRankDeficientFallback:
+    def test_duplicate_columns_still_correct(self):
+        """A rank-deficient T must fall back to materialization and stay exact."""
+        rng = np.random.default_rng(23)
+        n_s, n_r = 30, 6
+        entity_base = rng.standard_normal((n_s, 2))
+        entity = np.hstack([entity_base, entity_base])  # duplicated -> rank deficient
+        attribute = rng.standard_normal((n_r, 3))
+        labels = np.concatenate([np.arange(n_r), rng.integers(0, n_r, size=n_s - n_r)])
+        indicator = indicator_from_labels(labels, num_columns=n_r)
+        normalized = NormalizedMatrix(entity, [indicator], [attribute])
+        materialized = np.asarray(normalized.materialize())
+        assert np.allclose(normalized.ginv(), np.linalg.pinv(materialized), atol=1e-7)
+
+    def test_is_full_rank_detects_rank_deficiency(self):
+        full = np.array([[2.0, 0.0], [0.0, 1.0]])
+        deficient = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert _is_full_rank(full)
+        assert not _is_full_rank(deficient)
+
+    def test_is_full_rank_empty(self):
+        assert not _is_full_rank(np.zeros((0, 0)))
+
+    def test_is_full_rank_zero_matrix(self):
+        assert not _is_full_rank(np.zeros((3, 3)))
+
+
+class TestTheoremB1:
+    """If T is invertible then TR <= 1/FR + 1 (Appendix B)."""
+
+    @pytest.mark.parametrize("n_r,d_s,d_r", [(4, 2, 4), (3, 3, 3), (5, 1, 5)])
+    def test_invertible_square_matrices_satisfy_bound(self, n_r, d_s, d_r):
+        rng = np.random.default_rng(31)
+        n_s = d_s + d_r  # square T
+        if n_s < n_r:
+            pytest.skip("cannot reference every attribute row")
+        entity = rng.standard_normal((n_s, d_s))
+        attribute = rng.standard_normal((n_r, d_r))
+        labels = np.concatenate([np.arange(n_r), rng.integers(0, n_r, size=n_s - n_r)])
+        indicator = indicator_from_labels(labels, num_columns=n_r)
+        normalized = NormalizedMatrix(entity, [indicator], [attribute])
+        materialized = np.asarray(normalized.materialize())
+        if np.linalg.matrix_rank(materialized) == n_s:
+            tuple_ratio = n_s / n_r
+            feature_ratio = d_r / d_s
+            assert tuple_ratio <= 1.0 / feature_ratio + 1.0 + 1e-9

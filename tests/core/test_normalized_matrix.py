@@ -1,0 +1,148 @@
+"""Construction, metadata and materialization tests for :class:`NormalizedMatrix`."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalized_matrix import NormalizedMatrix
+from repro.exceptions import IndicatorError, ShapeError
+from repro.la.ops import indicator_from_labels
+
+
+class TestConstruction:
+    def test_shapes_and_joins(self, single_join_dense):
+        dataset, normalized, materialized = single_join_dense
+        assert normalized.shape == materialized.shape
+        assert normalized.num_joins == 1
+
+    def test_multi_join_shape(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        assert normalized.shape == materialized.shape
+        assert normalized.num_joins == 2
+
+    def test_entity_and_attribute_widths(self, multi_join_dense):
+        _, normalized, _ = multi_join_dense
+        assert normalized.entity_width == 4
+        assert normalized.attribute_widths == [6, 3]
+
+    def test_logical_dimensions(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        assert normalized.logical_rows == materialized.shape[0]
+        assert normalized.logical_cols == materialized.shape[1]
+
+    def test_ndim_is_two(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        assert normalized.ndim == 2
+
+    def test_mismatched_indicator_attribute_counts(self, single_join_dense):
+        dataset, _, _ = single_join_dense
+        with pytest.raises(ShapeError):
+            NormalizedMatrix(dataset.entity, dataset.indicators, [])
+
+    def test_indicator_row_mismatch_rejected(self, single_join_dense):
+        dataset, _, _ = single_join_dense
+        short_entity = dataset.entity[:-1, :]
+        with pytest.raises(ShapeError):
+            NormalizedMatrix(short_entity, dataset.indicators, dataset.attributes)
+
+    def test_indicator_column_mismatch_rejected(self, single_join_dense):
+        dataset, _, _ = single_join_dense
+        wrong_attribute = dataset.attributes[0][:-1, :]
+        with pytest.raises(ShapeError):
+            NormalizedMatrix(dataset.entity, dataset.indicators, [wrong_attribute])
+
+    def test_invalid_indicator_rejected(self, single_join_dense):
+        dataset, _, _ = single_join_dense
+        bad = dataset.indicators[0].toarray()
+        bad[0, :] = 0
+        with pytest.raises(IndicatorError):
+            NormalizedMatrix(dataset.entity, [bad], dataset.attributes)
+
+    def test_requires_entity_or_join(self):
+        with pytest.raises(ShapeError):
+            NormalizedMatrix(None, [], [])
+
+    def test_invalid_crossprod_method(self, single_join_dense):
+        dataset, _, _ = single_join_dense
+        with pytest.raises(ValueError):
+            NormalizedMatrix(dataset.entity, dataset.indicators, dataset.attributes,
+                             crossprod_method="fast")
+
+    def test_entity_only_matrix(self):
+        entity = np.ones((4, 3))
+        normalized = NormalizedMatrix(entity, [], [])
+        assert normalized.shape == (4, 3)
+        assert np.allclose(normalized.to_dense(), entity)
+
+    def test_no_entity_features(self, no_entity_features):
+        normalized, materialized = no_entity_features
+        assert normalized.entity_width == 0
+        assert normalized.shape == materialized.shape
+
+
+class TestMaterialization:
+    def test_materialize_matches_block_structure(self, multi_join_dense):
+        dataset, normalized, materialized = multi_join_dense
+        expected = np.hstack([dataset.entity] + [
+            np.asarray(k @ r) for k, r in zip(dataset.indicators, dataset.attributes)
+        ])
+        assert np.allclose(materialized, expected)
+        assert np.allclose(normalized.to_dense(), expected)
+
+    def test_materialize_sparse_inputs(self, single_join_sparse):
+        normalized, dense = single_join_sparse
+        assert np.allclose(normalized.to_dense(), dense)
+
+    def test_transposed_materialize(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.T.to_dense(), materialized.T)
+
+    def test_equals_materialized_helper(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert normalized.equals_materialized(materialized)
+        assert not normalized.equals_materialized(materialized + 1.0)
+        assert not normalized.equals_materialized(materialized[:, :-1])
+
+
+class TestTransposeFlag:
+    def test_transpose_flips_shape(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert normalized.T.shape == materialized.T.shape
+
+    def test_double_transpose_restores(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        assert normalized.T.T.shape == normalized.shape
+        assert not normalized.T.T.transposed
+
+    def test_transpose_shares_components(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        assert normalized.T.entity is normalized.entity
+        assert normalized.T.indicators is not None
+
+    def test_transpose_method_alias(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        assert normalized.transpose().transposed
+
+
+class TestRatios:
+    def test_tuple_ratio(self, single_join_dense):
+        dataset, normalized, _ = single_join_dense
+        expected = dataset.entity.shape[0] / dataset.attributes[0].shape[0]
+        assert normalized.tuple_ratio == pytest.approx(expected)
+
+    def test_feature_ratio(self, single_join_dense):
+        dataset, normalized, _ = single_join_dense
+        expected = dataset.attributes[0].shape[1] / dataset.entity.shape[1]
+        assert normalized.feature_ratio == pytest.approx(expected)
+
+    def test_feature_ratio_infinite_without_entity_features(self, no_entity_features):
+        normalized, _ = no_entity_features
+        assert normalized.feature_ratio == float("inf")
+
+    def test_redundancy_ratio_exceeds_one_for_redundant_join(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        assert normalized.redundancy_ratio() > 1.0
+
+    def test_redundancy_ratio_matches_definition(self, single_join_dense):
+        dataset, normalized, materialized = single_join_dense
+        base = dataset.entity.size + dataset.attributes[0].size
+        assert normalized.redundancy_ratio() == pytest.approx(materialized.size / base)

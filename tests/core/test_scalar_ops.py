@@ -1,0 +1,127 @@
+"""Tests for the element-wise scalar rewrite rules (paper Section 3.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalized_matrix import NormalizedMatrix
+from repro.exceptions import ShapeError
+
+
+class TestScalarArithmetic:
+    @pytest.mark.parametrize("expression,reference", [
+        (lambda t: t * 3.0, lambda m: m * 3.0),
+        (lambda t: 3.0 * t, lambda m: 3.0 * m),
+        (lambda t: t + 2.0, lambda m: m + 2.0),
+        (lambda t: 2.0 + t, lambda m: 2.0 + m),
+        (lambda t: t - 1.5, lambda m: m - 1.5),
+        (lambda t: 1.5 - t, lambda m: 1.5 - m),
+        (lambda t: t / 4.0, lambda m: m / 4.0),
+        (lambda t: t ** 2, lambda m: m ** 2),
+        (lambda t: -t, lambda m: -m),
+    ])
+    def test_matches_materialized(self, single_join_dense, expression, reference):
+        _, normalized, materialized = single_join_dense
+        result = expression(normalized)
+        assert isinstance(result, NormalizedMatrix)
+        assert np.allclose(result.to_dense(), reference(materialized))
+
+    def test_reverse_division(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        shifted = normalized + 10.0  # keep entries away from zero
+        result = 2.0 / shifted
+        assert np.allclose(result.to_dense(), 2.0 / (materialized + 10.0))
+
+    def test_output_keeps_structure(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        result = normalized * 5.0
+        assert result.num_joins == normalized.num_joins
+        assert result.indicators[0] is normalized.indicators[0]
+
+    def test_numpy_scalar_operand(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        result = np.float64(2.5) * normalized
+        assert isinstance(result, NormalizedMatrix)
+        assert np.allclose(result.to_dense(), 2.5 * materialized)
+
+    def test_multi_join(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        assert np.allclose((normalized * 2.0 + 1.0).to_dense(), materialized * 2.0 + 1.0)
+
+    def test_no_entity_features(self, no_entity_features):
+        normalized, materialized = no_entity_features
+        assert np.allclose((normalized * 7.0).to_dense(), materialized * 7.0)
+
+    def test_sparse_base_matrices(self, single_join_sparse):
+        normalized, dense = single_join_sparse
+        assert np.allclose((normalized * 2.0).to_dense(), dense * 2.0)
+
+    def test_transposed_scalar_op(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        result = normalized.T * 3.0
+        assert result.transposed
+        assert np.allclose(result.to_dense(), materialized.T * 3.0)
+
+    def test_chained_scalar_ops(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        result = ((normalized * 2.0) + 3.0) / 4.0
+        assert isinstance(result, NormalizedMatrix)
+        assert np.allclose(result.to_dense(), ((materialized * 2.0) + 3.0) / 4.0)
+
+
+class TestScalarFunctions:
+    def test_apply_exp(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.apply(np.exp).to_dense(), np.exp(materialized))
+
+    def test_exp_convenience(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.exp().to_dense(), np.exp(materialized))
+
+    def test_sqrt_convenience(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        shifted = normalized * 0.0 + 4.0
+        assert np.allclose(shifted.sqrt().to_dense(), np.full(materialized.shape, 2.0))
+
+    def test_log_convenience(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        positive = normalized.apply(np.abs) + 1.0
+        assert np.allclose(positive.log().to_dense(), np.log(np.abs(materialized) + 1.0))
+
+    def test_apply_on_transposed(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        assert np.allclose(normalized.T.apply(np.tanh).to_dense(), np.tanh(materialized.T))
+
+    def test_apply_returns_new_object(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        out = normalized.apply(np.exp)
+        assert out is not normalized
+        assert out.indicators[0] is normalized.indicators[0]
+
+
+class TestNonFactorizableMatrixOps:
+    def test_addition_with_regular_matrix_returns_regular(self, single_join_dense, rng):
+        _, normalized, materialized = single_join_dense
+        other = rng.standard_normal(materialized.shape)
+        result = normalized + other
+        assert isinstance(result, np.ndarray)
+        assert np.allclose(result, materialized + other)
+
+    def test_elementwise_multiplication_with_matrix(self, single_join_dense, rng):
+        _, normalized, materialized = single_join_dense
+        other = rng.standard_normal(materialized.shape)
+        assert np.allclose(normalized * other, materialized * other)
+
+    def test_reverse_subtraction_with_matrix(self, single_join_dense, rng):
+        _, normalized, materialized = single_join_dense
+        other = rng.standard_normal(materialized.shape)
+        assert np.allclose(other - normalized, other - materialized)
+
+    def test_matrix_op_shape_mismatch(self, single_join_dense, rng):
+        _, normalized, materialized = single_join_dense
+        with pytest.raises(ShapeError):
+            normalized + rng.standard_normal((3, 3))
+
+    def test_unsupported_operand_type(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(TypeError):
+            normalized + "not a matrix"

@@ -1,0 +1,67 @@
+"""Tests for the factorized least-squares solve (Section 3.3.6's `solve` rewrite)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+
+
+def least_squares_reference(materialized: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    solution, *_ = np.linalg.lstsq(materialized, rhs, rcond=None)
+    return solution
+
+
+class TestStarSolve:
+    def test_matches_numpy_lstsq(self, single_join_dense, rng):
+        _, normalized, materialized = single_join_dense
+        rhs = rng.standard_normal((materialized.shape[0], 1))
+        assert np.allclose(normalized.solve(rhs), least_squares_reference(materialized, rhs),
+                           atol=1e-6)
+
+    def test_multi_join(self, multi_join_dense, rng):
+        _, normalized, materialized = multi_join_dense
+        rhs = rng.standard_normal((materialized.shape[0], 1))
+        assert np.allclose(normalized.solve(rhs), least_squares_reference(materialized, rhs),
+                           atol=1e-6)
+
+    def test_multiple_right_hand_sides(self, single_join_dense, rng):
+        _, normalized, materialized = single_join_dense
+        rhs = rng.standard_normal((materialized.shape[0], 3))
+        assert np.allclose(normalized.solve(rhs), least_squares_reference(materialized, rhs),
+                           atol=1e-6)
+
+    def test_exact_recovery_without_noise(self, single_join_dense, rng):
+        _, normalized, materialized = single_join_dense
+        weights = rng.standard_normal((materialized.shape[1], 1))
+        rhs = materialized @ weights
+        assert np.allclose(normalized.solve(rhs), weights, atol=1e-6)
+
+    def test_ridge_shrinks_solution(self, single_join_dense, rng):
+        _, normalized, materialized = single_join_dense
+        rhs = rng.standard_normal((materialized.shape[0], 1))
+        plain = normalized.solve(rhs)
+        ridged = normalized.solve(rhs, ridge=100.0)
+        assert np.linalg.norm(ridged) < np.linalg.norm(plain)
+
+    def test_shape_mismatch(self, single_join_dense, rng):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(ShapeError):
+            normalized.solve(rng.standard_normal((3, 1)))
+
+    def test_sparse_base(self, single_join_sparse, rng):
+        normalized, dense = single_join_sparse
+        rhs = rng.standard_normal((dense.shape[0], 1))
+        assert np.allclose(normalized.solve(rhs), least_squares_reference(dense, rhs), atol=1e-6)
+
+
+class TestMNSolve:
+    def test_matches_numpy_lstsq(self, mn_dataset, rng):
+        _, normalized, materialized = mn_dataset
+        rhs = rng.standard_normal((materialized.shape[0], 1))
+        assert np.allclose(normalized.solve(rhs), least_squares_reference(materialized, rhs),
+                           atol=1e-6)
+
+    def test_shape_mismatch(self, mn_dataset, rng):
+        _, normalized, _ = mn_dataset
+        with pytest.raises(ShapeError):
+            normalized.solve(rng.standard_normal((2, 1)))

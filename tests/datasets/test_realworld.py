@@ -1,0 +1,111 @@
+"""Tests for the real-dataset stand-ins (Table 6 schemas) and the registry."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets.realworld import AttributeTableSpec, RealWorldSpec, generate_real_dataset
+from repro.datasets.registry import REAL_DATASET_SPECS, list_real_datasets, load_real_dataset
+from repro.exceptions import DataGenerationError
+
+
+class TestRegistry:
+    def test_all_seven_datasets_registered(self):
+        assert list_real_datasets() == [
+            "expedia", "movies", "yelp", "walmart", "lastfm", "books", "flights",
+        ]
+
+    def test_published_dimensions_recorded(self):
+        expedia = REAL_DATASET_SPECS["expedia"]
+        assert expedia.num_entity_rows == 942_142
+        assert expedia.num_entity_features == 27
+        assert expedia.attribute_tables[0].num_rows == 11_939
+
+    def test_flights_has_three_attribute_tables(self):
+        assert REAL_DATASET_SPECS["flights"].num_joins == 3
+
+    def test_movies_has_no_entity_features(self):
+        assert REAL_DATASET_SPECS["movies"].num_entity_features == 0
+
+    def test_load_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_real_dataset("netflix")
+
+    def test_load_real_dataset_returns_dataset(self):
+        dataset = load_real_dataset("walmart", scale=0.02, seed=0)
+        assert dataset.normalized.shape[0] == dataset.target.shape[0]
+
+
+class TestScaling:
+    def test_scaled_preserves_join_count(self):
+        scaled = REAL_DATASET_SPECS["flights"].scaled(0.05)
+        assert scaled.num_joins == 3
+
+    def test_scaled_rows_shrink(self):
+        original = REAL_DATASET_SPECS["yelp"]
+        scaled = original.scaled(0.01)
+        assert scaled.num_entity_rows < original.num_entity_rows
+        assert scaled.attribute_tables[0].num_rows < original.attribute_tables[0].num_rows
+
+    def test_scaled_attribute_rows_never_exceed_entity_rows(self):
+        scaled = REAL_DATASET_SPECS["books"].scaled(0.01)
+        for table in scaled.attribute_tables:
+            assert table.num_rows <= scaled.num_entity_rows
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DataGenerationError):
+            REAL_DATASET_SPECS["yelp"].scaled(0.0)
+        with pytest.raises(DataGenerationError):
+            REAL_DATASET_SPECS["yelp"].scaled(1.5)
+
+    def test_nnz_per_row_roughly_preserved(self):
+        original = REAL_DATASET_SPECS["expedia"]
+        scaled = original.scaled(0.02)
+        original_per_row = original.attribute_tables[1].nnz / original.attribute_tables[1].num_rows
+        scaled_per_row = scaled.attribute_tables[1].nnz / scaled.attribute_tables[1].num_rows
+        assert scaled_per_row == pytest.approx(original_per_row, rel=0.2)
+
+    def test_nnz_never_exceeds_capacity(self):
+        for name, spec in REAL_DATASET_SPECS.items():
+            scaled = spec.scaled(0.01)
+            for table in scaled.attribute_tables:
+                assert table.nnz <= table.num_rows * table.num_features
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def walmart(self):
+        return load_real_dataset("walmart", scale=0.02, seed=3)
+
+    def test_base_matrices_are_sparse(self, walmart):
+        for attribute in walmart.attributes:
+            assert sp.issparse(attribute)
+
+    def test_every_attribute_row_referenced(self, walmart):
+        for indicator in walmart.indicators:
+            assert np.all(np.asarray(indicator.sum(axis=0)).ravel() >= 1)
+
+    def test_normalized_matches_materialized(self, walmart):
+        dense = np.asarray(walmart.materialized.todense())
+        assert np.allclose(walmart.normalized.to_dense(), dense)
+
+    def test_binary_target_values(self, walmart):
+        assert set(np.unique(walmart.binary_target)).issubset({-1.0, 1.0})
+
+    def test_entity_absent_when_no_features(self):
+        movies = load_real_dataset("movies", scale=0.005, seed=4)
+        assert movies.entity is None
+        assert movies.normalized.entity_width == 0
+
+    def test_deterministic_for_seed(self):
+        a = load_real_dataset("flights", scale=0.02, seed=5)
+        b = load_real_dataset("flights", scale=0.02, seed=5)
+        assert np.allclose(a.target, b.target)
+
+    def test_custom_spec_generation(self):
+        spec = RealWorldSpec(
+            name="toy", num_entity_rows=50, num_entity_features=3, entity_nnz=150,
+            attribute_tables=(AttributeTableSpec(10, 8, 40),),
+        )
+        dataset = generate_real_dataset(spec, seed=6)
+        assert dataset.normalized.shape == (50, 3 + 8)

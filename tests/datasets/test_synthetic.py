@@ -1,0 +1,142 @@
+"""Tests for the synthetic PK-FK and M:N data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    MNDataset,
+    PKFKDataset,
+    SyntheticMNConfig,
+    SyntheticPKFKConfig,
+    generate_mn,
+    generate_pk_fk,
+    generate_star,
+)
+from repro.exceptions import DataGenerationError
+
+
+class TestPKFKConfig:
+    def test_from_ratios_dimensions(self):
+        config = SyntheticPKFKConfig.from_ratios(tuple_ratio=10, feature_ratio=2,
+                                                 num_attribute_rows=500,
+                                                 num_entity_features=20)
+        assert config.num_entity_rows == 5000
+        assert config.num_attribute_features == [40]
+
+    def test_from_ratios_invalid_tuple_ratio(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticPKFKConfig.from_ratios(tuple_ratio=0.5, feature_ratio=1)
+
+    def test_from_ratios_invalid_feature_ratio(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticPKFKConfig.from_ratios(tuple_ratio=5, feature_ratio=0)
+
+    def test_attribute_larger_than_entity_rejected(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticPKFKConfig(num_entity_rows=10, num_entity_features=2,
+                                num_attribute_rows=[20], num_attribute_features=[3])
+
+    def test_mismatched_lists_rejected(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticPKFKConfig(num_entity_rows=10, num_entity_features=2,
+                                num_attribute_rows=[5, 5], num_attribute_features=[3])
+
+    def test_requires_attribute_table(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticPKFKConfig(num_entity_rows=10, num_entity_features=2,
+                                num_attribute_rows=[], num_attribute_features=[])
+
+
+class TestPKFKGeneration:
+    def test_shapes(self):
+        dataset = generate_pk_fk(SyntheticPKFKConfig.from_ratios(5, 2, 40, 6, seed=1))
+        assert dataset.entity.shape == (200, 6)
+        assert dataset.attributes[0].shape == (40, 12)
+        assert dataset.indicators[0].shape == (200, 40)
+        assert dataset.target.shape == (200, 1)
+
+    def test_every_attribute_row_referenced(self):
+        dataset = generate_pk_fk(SyntheticPKFKConfig.from_ratios(5, 1, 30, 4, seed=2))
+        column_counts = np.asarray(dataset.indicators[0].sum(axis=0)).ravel()
+        assert np.all(column_counts >= 1)
+
+    def test_normalized_matches_materialized(self):
+        dataset = generate_pk_fk(SyntheticPKFKConfig.from_ratios(4, 2, 25, 5, seed=3))
+        assert np.allclose(dataset.normalized.to_dense(), dataset.materialized)
+
+    def test_ratios_reported(self):
+        dataset = generate_pk_fk(SyntheticPKFKConfig.from_ratios(8, 3, 50, 10, seed=4))
+        assert dataset.tuple_ratio == pytest.approx(8.0)
+        assert dataset.feature_ratio == pytest.approx(3.0)
+
+    def test_target_is_binary(self):
+        dataset = generate_pk_fk(SyntheticPKFKConfig.from_ratios(4, 1, 20, 4, seed=5))
+        assert set(np.unique(dataset.target)).issubset({-1.0, 1.0})
+
+    def test_deterministic_for_seed(self):
+        a = generate_pk_fk(SyntheticPKFKConfig.from_ratios(4, 1, 20, 4, seed=6))
+        b = generate_pk_fk(SyntheticPKFKConfig.from_ratios(4, 1, 20, 4, seed=6))
+        assert np.allclose(a.entity, b.entity)
+        assert np.allclose(a.target, b.target)
+
+    def test_different_seeds_differ(self):
+        a = generate_pk_fk(SyntheticPKFKConfig.from_ratios(4, 1, 20, 4, seed=7))
+        b = generate_pk_fk(SyntheticPKFKConfig.from_ratios(4, 1, 20, 4, seed=8))
+        assert not np.allclose(a.entity, b.entity)
+
+    def test_generate_star_multi_table(self):
+        dataset = generate_star(120, 4, [(20, 3), (30, 5)], seed=9)
+        assert isinstance(dataset, PKFKDataset)
+        assert dataset.normalized.num_joins == 2
+        assert dataset.materialized.shape == (120, 4 + 3 + 5)
+
+
+class TestMNConfig:
+    def test_uniqueness_degree(self):
+        config = SyntheticMNConfig(num_rows=100, num_features=5, domain_size=10)
+        assert config.uniqueness_degree == pytest.approx(0.1)
+
+    def test_invalid_domain_size(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticMNConfig(num_rows=10, num_features=5, domain_size=0)
+        with pytest.raises(DataGenerationError):
+            SyntheticMNConfig(num_rows=10, num_features=5, domain_size=11)
+
+    def test_invalid_rows(self):
+        with pytest.raises(DataGenerationError):
+            SyntheticMNConfig(num_rows=0, num_features=5, domain_size=1)
+
+
+class TestMNGeneration:
+    def test_shapes(self):
+        dataset = generate_mn(SyntheticMNConfig(num_rows=40, num_features=6, domain_size=8, seed=1))
+        assert isinstance(dataset, MNDataset)
+        assert dataset.left.shape == (40, 6)
+        assert dataset.right.shape == (40, 6)
+        assert dataset.left_indicator.shape[1] == 40
+        assert dataset.materialized.shape[1] == 12
+
+    def test_output_rows_scale_with_domain_size(self):
+        small_domain = generate_mn(SyntheticMNConfig(40, 4, domain_size=4, seed=2))
+        large_domain = generate_mn(SyntheticMNConfig(40, 4, domain_size=20, seed=2))
+        assert small_domain.output_rows > large_domain.output_rows
+
+    def test_expected_output_size(self):
+        # Round-robin assignment gives exactly n^2 / n_U output rows when n_U divides n.
+        dataset = generate_mn(SyntheticMNConfig(num_rows=40, num_features=3, domain_size=10, seed=3))
+        assert dataset.output_rows == 40 * 40 // 10
+
+    def test_normalized_matches_materialized(self):
+        dataset = generate_mn(SyntheticMNConfig(num_rows=30, num_features=4, domain_size=6, seed=4))
+        assert np.allclose(dataset.normalized.to_dense(), dataset.materialized)
+
+    def test_every_base_row_contributes(self):
+        dataset = generate_mn(SyntheticMNConfig(num_rows=30, num_features=4, domain_size=5, seed=5))
+        assert np.all(np.asarray(dataset.left_indicator.sum(axis=0)).ravel() >= 1)
+        assert np.all(np.asarray(dataset.right_indicator.sum(axis=0)).ravel() >= 1)
+
+    def test_deterministic_for_seed(self):
+        a = generate_mn(SyntheticMNConfig(num_rows=20, num_features=3, domain_size=4, seed=6))
+        b = generate_mn(SyntheticMNConfig(num_rows=20, num_features=3, domain_size=4, seed=6))
+        assert np.allclose(a.left, b.left)
+        assert a.output_rows == b.output_rows

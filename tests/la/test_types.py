@@ -1,0 +1,112 @@
+"""Tests for the matrix type helpers in :mod:`repro.la.types`."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ShapeError
+from repro.la.types import (
+    check_matmul_shapes,
+    check_same_shape,
+    ensure_2d,
+    is_dense,
+    is_matrix_like,
+    is_sparse,
+    is_vector,
+    shape_of,
+    to_dense,
+    to_sparse,
+)
+
+
+class TestPredicates:
+    def test_is_sparse_on_csr(self):
+        assert is_sparse(sp.csr_matrix((2, 3)))
+
+    def test_is_sparse_on_dense(self):
+        assert not is_sparse(np.zeros((2, 3)))
+
+    def test_is_dense_on_array(self):
+        assert is_dense(np.ones(4))
+
+    def test_is_dense_on_sparse(self):
+        assert not is_dense(sp.eye(3))
+
+    def test_is_matrix_like_accepts_both(self):
+        assert is_matrix_like(np.zeros((1, 1)))
+        assert is_matrix_like(sp.eye(2))
+
+    def test_is_matrix_like_rejects_lists(self):
+        assert not is_matrix_like([[1, 2], [3, 4]])
+
+    def test_is_vector_1d(self):
+        assert is_vector(np.arange(5))
+
+    def test_is_vector_column(self):
+        assert is_vector(np.arange(5).reshape(-1, 1))
+
+    def test_is_vector_row_sparse(self):
+        assert is_vector(sp.csr_matrix(np.ones((1, 4))))
+
+    def test_is_vector_rejects_matrix(self):
+        assert not is_vector(np.ones((3, 3)))
+
+
+class TestEnsure2d:
+    def test_promotes_1d_to_column(self):
+        out = ensure_2d(np.arange(4))
+        assert out.shape == (4, 1)
+
+    def test_passes_2d_through(self):
+        x = np.ones((3, 2))
+        assert ensure_2d(x) is x
+
+    def test_passes_sparse_through(self):
+        x = sp.eye(3, format="csr")
+        assert ensure_2d(x) is x
+
+    def test_rejects_3d(self):
+        with pytest.raises(ShapeError):
+            ensure_2d(np.zeros((2, 2, 2)))
+
+
+class TestConversions:
+    def test_to_dense_from_sparse(self):
+        x = sp.csr_matrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        assert np.array_equal(to_dense(x), np.array([[1.0, 0.0], [0.0, 2.0]]))
+
+    def test_to_dense_identity_on_dense(self):
+        x = np.ones((2, 2))
+        assert np.array_equal(to_dense(x), x)
+
+    def test_to_sparse_from_dense(self):
+        x = np.array([[0.0, 1.0], [2.0, 0.0]])
+        out = to_sparse(x)
+        assert sp.issparse(out)
+        assert out.nnz == 2
+
+    def test_to_sparse_respects_format(self):
+        out = to_sparse(np.eye(3), fmt="csc")
+        assert out.format == "csc"
+
+
+class TestShapeHelpers:
+    def test_shape_of_vector(self):
+        assert shape_of(np.arange(5)) == (5, 1)
+
+    def test_shape_of_sparse(self):
+        assert shape_of(sp.csr_matrix((4, 7))) == (4, 7)
+
+    def test_check_same_shape_passes(self):
+        check_same_shape(np.zeros((2, 2)), sp.eye(2))
+
+    def test_check_same_shape_raises(self):
+        with pytest.raises(ShapeError):
+            check_same_shape(np.zeros((2, 2)), np.zeros((3, 2)))
+
+    def test_check_matmul_shapes_passes(self):
+        check_matmul_shapes((2, 3), (3, 4))
+
+    def test_check_matmul_shapes_raises(self):
+        with pytest.raises(ShapeError):
+            check_matmul_shapes((2, 3), (4, 4))

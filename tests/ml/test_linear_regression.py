@@ -1,0 +1,154 @@
+"""Tests for the three linear-regression solvers (Algorithms 5/6, 11/12, 13/14)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.ml.linear_regression import (
+    LinearRegressionCofactor,
+    LinearRegressionGD,
+    LinearRegressionNE,
+)
+from repro.ml.metrics import r2_score
+
+
+def regression_target(materialized: np.ndarray, seed: int = 0, noise: float = 0.01) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    weights = rng.standard_normal((materialized.shape[1], 1))
+    return materialized @ weights + noise * rng.standard_normal((materialized.shape[0], 1))
+
+
+class TestNormalEquations:
+    def test_factorized_equals_materialized(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized)
+        factorized = LinearRegressionNE().fit(normalized, y)
+        standard = LinearRegressionNE().fit(materialized, y)
+        assert np.allclose(factorized.coef_, standard.coef_, atol=1e-7)
+
+    def test_multi_join(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        y = regression_target(materialized, seed=1)
+        factorized = LinearRegressionNE().fit(normalized, y)
+        standard = LinearRegressionNE().fit(materialized, y)
+        assert np.allclose(factorized.coef_, standard.coef_, atol=1e-7)
+
+    def test_mn_join(self, mn_dataset):
+        _, normalized, materialized = mn_dataset
+        y = regression_target(materialized, seed=2)
+        factorized = LinearRegressionNE().fit(normalized, y)
+        standard = LinearRegressionNE().fit(materialized, y)
+        assert np.allclose(factorized.coef_, standard.coef_, atol=1e-7)
+
+    def test_recovers_true_weights_without_noise(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        rng = np.random.default_rng(3)
+        weights = rng.standard_normal((materialized.shape[1], 1))
+        y = materialized @ weights
+        model = LinearRegressionNE().fit(normalized, y)
+        assert np.allclose(model.coef_, weights, atol=1e-6)
+
+    def test_good_fit_r2(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, noise=0.05)
+        model = LinearRegressionNE().fit(normalized, y)
+        assert r2_score(y, model.predict(normalized)) > 0.95
+
+    def test_naive_crossprod_method_option(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, seed=4)
+        naive = LinearRegressionNE(crossprod_method="naive").fit(normalized, y)
+        efficient = LinearRegressionNE(crossprod_method="efficient").fit(normalized, y)
+        assert np.allclose(naive.coef_, efficient.coef_, atol=1e-8)
+
+    def test_predict_before_fit(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(RuntimeError):
+            LinearRegressionNE().predict(normalized)
+
+    def test_target_mismatch(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(ShapeError):
+            LinearRegressionNE().fit(normalized, np.ones(2))
+
+
+class TestGradientDescent:
+    def test_factorized_equals_materialized(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, seed=5)
+        factorized = LinearRegressionGD(max_iter=10, step_size=1e-4).fit(normalized, y)
+        standard = LinearRegressionGD(max_iter=10, step_size=1e-4).fit(materialized, y)
+        assert np.allclose(factorized.coef_, standard.coef_, atol=1e-9)
+
+    def test_history_tracks_squared_error(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, seed=6)
+        model = LinearRegressionGD(max_iter=15, step_size=1e-4, track_history=True)
+        model.fit(normalized, y)
+        assert len(model.history_) == 15
+        assert model.history_[-1] < model.history_[0]
+
+    def test_initial_weights(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, seed=7)
+        start = np.ones((materialized.shape[1], 1))
+        a = LinearRegressionGD(max_iter=3, step_size=1e-4).fit(normalized, y, initial_weights=start)
+        b = LinearRegressionGD(max_iter=3, step_size=1e-4).fit(materialized, y, initial_weights=start)
+        assert np.allclose(a.coef_, b.coef_)
+
+    def test_predict_before_fit(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(RuntimeError):
+            LinearRegressionGD().predict(normalized)
+
+
+class TestCofactor:
+    def test_factorized_equals_materialized(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, seed=8)
+        factorized = LinearRegressionCofactor(max_iter=10, step_size=1e-2).fit(normalized, y)
+        standard = LinearRegressionCofactor(max_iter=10, step_size=1e-2).fit(materialized, y)
+        assert np.allclose(factorized.coef_, standard.coef_, atol=1e-9)
+        assert np.allclose(factorized.cofactor_, standard.cofactor_, atol=1e-8)
+
+    def test_cofactor_shape(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, seed=9)
+        model = LinearRegressionCofactor(max_iter=1).fit(normalized, y)
+        d = materialized.shape[1]
+        assert model.cofactor_.shape == (d + 1, d)
+
+    def test_cofactor_contents(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, seed=10)
+        model = LinearRegressionCofactor(max_iter=1).fit(normalized, y)
+        assert np.allclose(model.cofactor_[0:1, :], y.T @ materialized, atol=1e-8)
+        assert np.allclose(model.cofactor_[1:, :], materialized.T @ materialized, atol=1e-7)
+
+    def test_plain_sgd_mode(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, seed=11)
+        factorized = LinearRegressionCofactor(max_iter=5, step_size=1e-6, adagrad=False)
+        standard = LinearRegressionCofactor(max_iter=5, step_size=1e-6, adagrad=False)
+        assert np.allclose(factorized.fit(normalized, y).coef_,
+                           standard.fit(materialized, y).coef_, atol=1e-10)
+
+    def test_gradient_norm_history(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, seed=12)
+        model = LinearRegressionCofactor(max_iter=8, step_size=1e-2, track_history=True)
+        model.fit(normalized, y)
+        assert len(model.history_) == 8
+
+    def test_predict_before_fit(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(RuntimeError):
+            LinearRegressionCofactor().predict(normalized)
+
+    def test_adagrad_reduces_residual(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        y = regression_target(materialized, seed=13, noise=0.0)
+        model = LinearRegressionCofactor(max_iter=300, step_size=0.5).fit(normalized, y)
+        baseline = float(np.mean((y - y.mean()) ** 2))
+        residual = float(np.mean((y - model.predict(normalized)) ** 2))
+        assert residual < baseline

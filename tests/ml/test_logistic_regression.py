@@ -1,0 +1,112 @@
+"""Tests for logistic regression (paper Algorithms 3 and 4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.ml.logistic_regression import LogisticRegressionGD
+from repro.ml.metrics import accuracy
+from repro.ml.preprocessing import binarize_labels
+
+
+class TestFactorizedEquivalence:
+    @pytest.mark.parametrize("update", ["paper", "exact"])
+    def test_coefficients_match_materialized(self, single_join_dense, update):
+        dataset, normalized, materialized = single_join_dense
+        factorized = LogisticRegressionGD(max_iter=8, step_size=1e-3, update=update)
+        standard = LogisticRegressionGD(max_iter=8, step_size=1e-3, update=update)
+        factorized.fit(normalized, dataset.target)
+        standard.fit(materialized, dataset.target)
+        assert np.allclose(factorized.coef_, standard.coef_, atol=1e-9)
+
+    def test_multi_join_equivalence(self, multi_join_dense):
+        dataset, normalized, materialized = multi_join_dense
+        factorized = LogisticRegressionGD(max_iter=5, step_size=1e-3).fit(normalized, dataset.target)
+        standard = LogisticRegressionGD(max_iter=5, step_size=1e-3).fit(materialized, dataset.target)
+        assert np.allclose(factorized.coef_, standard.coef_, atol=1e-9)
+
+    def test_mn_join_equivalence(self, mn_dataset):
+        dataset, normalized, materialized = mn_dataset
+        factorized = LogisticRegressionGD(max_iter=5, step_size=1e-3).fit(normalized, dataset.target)
+        standard = LogisticRegressionGD(max_iter=5, step_size=1e-3).fit(materialized, dataset.target)
+        assert np.allclose(factorized.coef_, standard.coef_, atol=1e-9)
+
+    def test_predictions_match(self, single_join_dense):
+        dataset, normalized, materialized = single_join_dense
+        factorized = LogisticRegressionGD(max_iter=5, step_size=1e-3).fit(normalized, dataset.target)
+        standard = LogisticRegressionGD(max_iter=5, step_size=1e-3).fit(materialized, dataset.target)
+        assert np.array_equal(factorized.predict(normalized), standard.predict(materialized))
+
+
+class TestLearningBehaviour:
+    def test_exact_update_learns_separable_data(self, single_join_dense):
+        dataset, normalized, _ = single_join_dense
+        model = LogisticRegressionGD(max_iter=200, step_size=1e-2, update="exact")
+        model.fit(normalized, dataset.target)
+        predictions = model.predict(normalized)
+        assert accuracy(dataset.target, predictions) > 0.9
+
+    def test_loss_history_decreases(self, single_join_dense):
+        dataset, normalized, _ = single_join_dense
+        model = LogisticRegressionGD(max_iter=30, step_size=1e-2, update="exact",
+                                     track_history=True)
+        model.fit(normalized, dataset.target)
+        assert len(model.history_) == 30
+        assert model.history_[-1] < model.history_[0]
+
+    def test_probabilities_in_unit_interval(self, single_join_dense):
+        dataset, normalized, _ = single_join_dense
+        model = LogisticRegressionGD(max_iter=10, step_size=1e-2).fit(normalized, dataset.target)
+        probabilities = model.predict_proba(normalized)
+        assert np.all(probabilities >= 0.0) and np.all(probabilities <= 1.0)
+
+    def test_predictions_are_signs(self, single_join_dense):
+        dataset, normalized, _ = single_join_dense
+        model = LogisticRegressionGD(max_iter=3, step_size=1e-3).fit(normalized, dataset.target)
+        assert set(np.unique(model.predict(normalized))).issubset({-1.0, 1.0})
+
+    def test_initial_weights_respected(self, single_join_dense):
+        dataset, normalized, materialized = single_join_dense
+        start = np.full((materialized.shape[1], 1), 0.5)
+        a = LogisticRegressionGD(max_iter=2, step_size=1e-3).fit(normalized, dataset.target,
+                                                                 initial_weights=start)
+        b = LogisticRegressionGD(max_iter=2, step_size=1e-3).fit(materialized, dataset.target,
+                                                                 initial_weights=start)
+        assert np.allclose(a.coef_, b.coef_)
+        assert not np.allclose(a.coef_, np.zeros_like(a.coef_))
+
+
+class TestValidation:
+    def test_mismatched_target_length(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(ShapeError):
+            LogisticRegressionGD(max_iter=1).fit(normalized, np.ones(3))
+
+    def test_two_dimensional_target_rejected(self, single_join_dense):
+        dataset, normalized, _ = single_join_dense
+        with pytest.raises(ShapeError):
+            LogisticRegressionGD(max_iter=1).fit(normalized, np.ones((dataset.target.shape[0], 2)))
+
+    def test_invalid_update_rule(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionGD(update="newton")
+
+    def test_invalid_max_iter(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionGD(max_iter=0)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionGD(step_size=-1.0)
+
+    def test_predict_before_fit(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(RuntimeError):
+            LogisticRegressionGD().predict(normalized)
+
+    def test_binarized_real_targets_work(self, single_join_dense):
+        dataset, normalized, _ = single_join_dense
+        continuous = np.asarray(normalized @ np.ones((normalized.shape[1], 1)))
+        labels = binarize_labels(continuous)
+        model = LogisticRegressionGD(max_iter=3, step_size=1e-3).fit(normalized, labels)
+        assert model.coef_.shape == (normalized.shape[1], 1)

@@ -1,0 +1,84 @@
+"""Tests for the preprocessing helpers in :mod:`repro.ml.preprocessing`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.ml.preprocessing import binarize_labels, standardize, train_test_split_rows
+
+
+class TestBinarizeLabels:
+    def test_median_threshold_default(self):
+        labels = binarize_labels([1.0, 2.0, 3.0, 4.0])
+        assert set(labels.ravel()) == {-1.0, 1.0}
+        assert labels.ravel()[3] == 1.0
+        assert labels.ravel()[0] == -1.0
+
+    def test_explicit_threshold(self):
+        labels = binarize_labels([0.0, 5.0, 10.0], threshold=7.0)
+        assert list(labels.ravel()) == [-1.0, -1.0, 1.0]
+
+    def test_output_is_column(self):
+        assert binarize_labels([1.0, 2.0]).shape == (2, 1)
+
+    def test_values_at_threshold_are_negative(self):
+        labels = binarize_labels([1.0, 2.0], threshold=2.0)
+        assert labels.ravel()[1] == -1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            binarize_labels([])
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self, rng):
+        x = rng.standard_normal((200, 3)) * 5.0 + 2.0
+        out = standardize(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-6)
+
+    def test_constant_column_does_not_blow_up(self):
+        x = np.hstack([np.ones((10, 1)), np.arange(10.0).reshape(-1, 1)])
+        out = standardize(x)
+        assert np.all(np.isfinite(out))
+        assert np.allclose(out[:, 0], 0.0)
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(ShapeError):
+            standardize(np.arange(5.0))
+
+
+class TestTrainTestSplit:
+    def test_partition_covers_all_rows(self):
+        train, test = train_test_split_rows(100, test_fraction=0.3, seed=1)
+        assert len(train) + len(test) == 100
+        assert set(train).isdisjoint(set(test))
+
+    def test_test_fraction_respected(self):
+        train, test = train_test_split_rows(100, test_fraction=0.25, seed=2)
+        assert len(test) == 25
+
+    def test_deterministic_for_seed(self):
+        a = train_test_split_rows(50, seed=3)
+        b = train_test_split_rows(50, seed=3)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a = train_test_split_rows(50, seed=4)
+        b = train_test_split_rows(50, seed=5)
+        assert not np.array_equal(a[1], b[1])
+
+    def test_indices_sorted(self):
+        train, test = train_test_split_rows(30, seed=6)
+        assert np.array_equal(train, np.sort(train))
+        assert np.array_equal(test, np.sort(test))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split_rows(10, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split_rows(10, test_fraction=1.0)
+
+    def test_too_few_rows(self):
+        with pytest.raises(ShapeError):
+            train_test_split_rows(1)

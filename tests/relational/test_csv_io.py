@@ -1,0 +1,81 @@
+"""Tests for CSV input/output in :mod:`repro.relational.csv_io`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.csv_io import read_csv, write_csv
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "customers.csv"
+    path.write_text(
+        "customer_id,age,country\n"
+        "0,25.5,us\n"
+        "1,40.0,uk\n"
+        "2,31.0,us\n"
+    )
+    return path
+
+
+class TestReadCsv:
+    def test_reads_header_and_rows(self, csv_file):
+        table = read_csv(csv_file)
+        assert table.num_rows == 3
+        assert table.column_names == ["customer_id", "age", "country"]
+
+    def test_numeric_columns_inferred(self, csv_file):
+        table = read_csv(csv_file)
+        assert table.column("age").dtype == np.float64
+        assert table.column("age")[0] == 25.5
+
+    def test_string_columns_kept(self, csv_file):
+        table = read_csv(csv_file)
+        assert table.column("country")[1] == "uk"
+
+    def test_table_name_defaults_to_stem(self, csv_file):
+        assert read_csv(csv_file).name == "customers"
+
+    def test_table_name_override(self, csv_file):
+        assert read_csv(csv_file, name="people").name == "people"
+
+    def test_forced_numeric_columns(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n2\n")
+        table = read_csv(path, numeric_columns=["a"])
+        assert table.column("a").dtype == np.float64
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        table = Table("t", {
+            "id": np.arange(3),
+            "value": np.array([1.5, 2.5, 3.5]),
+            "label": np.array(["x", "y", "z"]),
+        })
+        path = tmp_path / "out.csv"
+        write_csv(table, path)
+        back = read_csv(path)
+        assert back.num_rows == 3
+        assert np.allclose(back.column("value"), table.column("value"))
+        assert list(back.column("label")) == ["x", "y", "z"]
+
+    def test_header_written(self, tmp_path):
+        table = Table("t", {"a": np.array([1.0])})
+        path = tmp_path / "out.csv"
+        write_csv(table, path)
+        assert path.read_text().splitlines()[0] == "a"

@@ -1,0 +1,116 @@
+"""Tests for feature encoding in :mod:`repro.relational.encoding`."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import SchemaError
+from repro.relational.encoding import FeatureMatrix, OneHotEncoder, encode_features
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.table import Table
+
+
+class TestOneHotEncoder:
+    def test_fit_learns_sorted_categories(self):
+        encoder = OneHotEncoder().fit(["b", "a", "b", "c"])
+        assert encoder.categories_ == ["a", "b", "c"]
+
+    def test_transform_shape_and_values(self):
+        encoder = OneHotEncoder().fit(["a", "b"])
+        out = encoder.transform(["b", "a", "b"])
+        assert out.shape == (3, 2)
+        assert np.allclose(out.toarray(), [[0, 1], [1, 0], [0, 1]])
+
+    def test_transform_is_sparse(self):
+        out = OneHotEncoder().fit_transform(["x", "y", "x"])
+        assert sp.issparse(out)
+        assert out.nnz == 3
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(SchemaError):
+            OneHotEncoder().transform(["a"])
+
+    def test_unknown_category_error(self):
+        encoder = OneHotEncoder().fit(["a"])
+        with pytest.raises(SchemaError):
+            encoder.transform(["b"])
+
+    def test_unknown_category_ignore(self):
+        encoder = OneHotEncoder(handle_unknown="ignore").fit(["a"])
+        out = encoder.transform(["b", "a"])
+        assert out.shape == (2, 1)
+        assert out.nnz == 1
+
+    def test_invalid_handle_unknown(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(handle_unknown="skip")
+
+    def test_feature_names(self):
+        encoder = OneHotEncoder().fit(["us", "uk"])
+        assert encoder.feature_names("country") == ["country=uk", "country=us"]
+
+    def test_feature_names_before_fit(self):
+        with pytest.raises(SchemaError):
+            OneHotEncoder().feature_names("c")
+
+    def test_numeric_categories(self):
+        encoder = OneHotEncoder().fit([3, 1, 2])
+        out = encoder.transform([1, 3])
+        assert out.shape == (2, 3)
+
+
+class TestEncodeFeatures:
+    @pytest.fixture
+    def table(self) -> Table:
+        schema = TableSchema("t", [
+            Column("id", ColumnType.KEY),
+            Column("age", ColumnType.NUMERIC),
+            Column("country", ColumnType.CATEGORICAL),
+        ], primary_key="id")
+        return Table("t", {
+            "id": np.arange(4),
+            "age": np.array([20.0, 30.0, 40.0, 50.0]),
+            "country": np.array(["us", "uk", "us", "de"]),
+        }, schema=schema)
+
+    def test_default_skips_key_columns(self, table):
+        features = encode_features(table)
+        assert features.num_features == 1 + 3  # age + 3 country categories
+
+    def test_feature_names(self, table):
+        features = encode_features(table)
+        assert features.feature_names[0] == "age"
+        assert "country=us" in features.feature_names
+
+    def test_sparse_output(self, table):
+        features = encode_features(table)
+        assert sp.issparse(features.matrix)
+
+    def test_dense_output(self, table):
+        features = encode_features(table, sparse=False)
+        assert isinstance(features.matrix, np.ndarray)
+        assert features.shape == (4, 4)
+
+    def test_numeric_values_preserved(self, table):
+        features = encode_features(table, sparse=False)
+        assert np.allclose(features.matrix[:, 0], table.column("age"))
+
+    def test_onehot_rows_sum_to_one(self, table):
+        features = encode_features(table, columns=["country"], sparse=False)
+        assert np.allclose(features.matrix.sum(axis=1), 1.0)
+
+    def test_explicit_column_selection(self, table):
+        features = encode_features(table, columns=["age"])
+        assert features.num_features == 1
+
+    def test_no_feature_columns(self):
+        table = Table("t", {"id": np.arange(3)},
+                      schema=TableSchema("t", [Column("id", ColumnType.KEY)], primary_key="id"))
+        features = encode_features(table)
+        assert features.num_features == 0
+        assert features.shape == (3, 0)
+
+    def test_feature_matrix_dataclass(self):
+        fm = FeatureMatrix(np.zeros((2, 3)), ["a", "b", "c"])
+        assert fm.shape == (2, 3)
+        assert fm.num_features == 3

@@ -1,0 +1,133 @@
+"""Tests for the table-to-normalized-matrix builders in :mod:`repro.relational.pipeline`."""
+
+import numpy as np
+import pytest
+
+from repro.core.decision import DecisionRule
+from repro.core.mn_matrix import MNNormalizedMatrix
+from repro.core.normalized_matrix import NormalizedMatrix
+from repro.exceptions import SchemaError
+from repro.relational.pipeline import (
+    NormalizedDataset,
+    mn_normalized_from_tables,
+    normalized_from_tables,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def star_tables():
+    rng = np.random.default_rng(41)
+    num_orders, num_products, num_stores = 120, 12, 6
+    orders = Table("orders", {
+        "order_id": np.arange(num_orders),
+        "quantity": rng.integers(1, 9, size=num_orders).astype(float),
+        "total": rng.uniform(5, 500, size=num_orders),
+        "product_id": np.concatenate([np.arange(num_products),
+                                      rng.integers(0, num_products, size=num_orders - num_products)]),
+        "store_id": np.concatenate([np.arange(num_stores),
+                                    rng.integers(0, num_stores, size=num_orders - num_stores)]),
+    })
+    products = Table("products", {
+        "product_id": np.arange(num_products),
+        "price": rng.uniform(1, 50, size=num_products),
+        "category": rng.choice(np.array(["food", "toys", "tools"]), size=num_products),
+    })
+    stores = Table("stores", {
+        "store_id": np.arange(num_stores),
+        "size": rng.uniform(100, 900, size=num_stores),
+    })
+    return orders, products, stores
+
+
+class TestNormalizedFromTables:
+    def _build(self, star_tables, **kwargs):
+        orders, products, stores = star_tables
+        edges = [
+            ("product_id", products, "product_id", ["price", "category"]),
+            ("store_id", stores, "store_id", ["size"]),
+        ]
+        return normalized_from_tables(orders, edges, entity_features=["quantity"],
+                                      target_column="total", **kwargs)
+
+    def test_returns_factorized_dataset(self, star_tables):
+        dataset = self._build(star_tables)
+        assert isinstance(dataset, NormalizedDataset)
+        assert isinstance(dataset.matrix, NormalizedMatrix)
+        assert dataset.is_factorized
+
+    def test_shape_and_feature_names(self, star_tables):
+        dataset = self._build(star_tables)
+        # quantity + price + 3 categories + size
+        assert dataset.shape == (120, 6)
+        assert dataset.feature_names[0] == "quantity"
+        assert any(name.startswith("products.category=") for name in dataset.feature_names)
+        assert "stores.size" in dataset.feature_names
+
+    def test_feature_name_count_matches_width(self, star_tables):
+        dataset = self._build(star_tables)
+        assert len(dataset.feature_names) == dataset.shape[1]
+
+    def test_target_extracted(self, star_tables):
+        orders, _, _ = star_tables
+        dataset = self._build(star_tables)
+        assert dataset.target.shape == (120, 1)
+        assert np.allclose(dataset.target.ravel(), orders.column("total"))
+
+    def test_materialization_matches_manual_join(self, star_tables):
+        dataset = self._build(star_tables, sparse=False)
+        orders, products, stores = star_tables
+        dense = dataset.matrix.to_dense()
+        product_rows = orders.column("product_id")
+        assert np.allclose(dense[:, 1], products.column("price")[product_rows])
+
+    def test_dense_encoding_option(self, star_tables):
+        dataset = self._build(star_tables, sparse=False)
+        assert isinstance(dataset.matrix.entity, np.ndarray)
+
+    def test_no_entity_features(self, star_tables):
+        orders, products, stores = star_tables
+        edges = [("product_id", products, "product_id", ["price"])]
+        dataset = normalized_from_tables(orders, edges)
+        assert dataset.matrix.entity_width == 0
+        assert dataset.target is None
+
+    def test_decision_rule_can_materialize(self, star_tables):
+        strict = DecisionRule(tuple_ratio_threshold=10_000)
+        dataset = self._build(star_tables, force_factorized=False, decision_rule=strict)
+        assert not dataset.is_factorized
+        assert isinstance(dataset.matrix, np.ndarray) or hasattr(dataset.matrix, "toarray")
+
+    def test_requires_edges(self, star_tables):
+        orders, _, _ = star_tables
+        with pytest.raises(SchemaError):
+            normalized_from_tables(orders, [], entity_features=["quantity"])
+
+
+class TestMNNormalizedFromTables:
+    def test_builds_mn_matrix(self):
+        left = Table("papers", {
+            "topic": np.array([1, 2, 2, 3]),
+            "citations": np.array([10.0, 5.0, 7.0, 1.0]),
+        })
+        right = Table("venues", {
+            "topic": np.array([2, 3, 3, 1]),
+            "rank": np.array([1.0, 2.0, 3.0, 4.0]),
+        })
+        dataset = mn_normalized_from_tables(left, "topic", right, "topic",
+                                            left_features=["citations"],
+                                            right_features=["rank"])
+        assert isinstance(dataset.matrix, MNNormalizedMatrix)
+        assert dataset.shape[1] == 2
+        assert dataset.feature_names == ["papers.citations", "venues.rank"]
+        # topic 1 matches 1, topic 2 matches 1 each (x2 left rows), topic 3 matches 2.
+        assert dataset.shape[0] == 1 + 1 + 1 + 2
+
+    def test_matches_materialized_values(self):
+        left = Table("l", {"j": np.array([1, 1, 2]), "x": np.array([1.0, 2.0, 3.0])})
+        right = Table("r", {"j": np.array([1, 2]), "y": np.array([10.0, 20.0])})
+        dataset = mn_normalized_from_tables(left, "j", right, "j",
+                                            left_features=["x"], right_features=["y"],
+                                            sparse=False)
+        dense = dataset.matrix.to_dense()
+        assert np.allclose(dense, [[1.0, 10.0], [2.0, 10.0], [3.0, 20.0]])

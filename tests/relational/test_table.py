@@ -1,0 +1,147 @@
+"""Tests for the column-oriented table in :mod:`repro.relational.table`."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def customers() -> Table:
+    return Table("customers", {
+        "customer_id": np.arange(5),
+        "age": np.array([25.0, 40.0, 31.0, 58.0, 47.0]),
+        "income": np.array([30.0, 80.0, 55.0, 120.0, 95.0]),
+        "country": np.array(["us", "uk", "us", "de", "uk"]),
+        "employer_id": np.array([0, 1, 1, 2, 0]),
+    })
+
+
+class TestConstruction:
+    def test_row_and_column_counts(self, customers):
+        assert customers.num_rows == 5
+        assert customers.num_columns == 5
+        assert len(customers) == 5
+
+    def test_column_names_preserved(self, customers):
+        assert customers.column_names[0] == "customer_id"
+
+    def test_inferred_schema_types(self, customers):
+        assert customers.schema.column("age").ctype is ColumnType.NUMERIC
+        assert customers.schema.column("country").ctype is ColumnType.CATEGORICAL
+
+    def test_explicit_schema_respected(self):
+        schema = TableSchema("t", [Column("a", ColumnType.NUMERIC)])
+        table = Table("t", {"a": np.array([1.0, 2.0])}, schema=schema)
+        assert table.schema is schema
+
+    def test_schema_missing_column_rejected(self):
+        schema = TableSchema("t", [Column("a"), Column("b")])
+        with pytest.raises(SchemaError):
+            Table("t", {"a": np.array([1.0])}, schema=schema)
+
+    def test_unequal_column_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {"a": np.array([1, 2]), "b": np.array([1])})
+
+    def test_empty_column_set_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {})
+
+    def test_two_dimensional_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("t", {"a": np.ones((2, 2))})
+
+    def test_from_records(self):
+        table = Table.from_records("t", [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert table.num_rows == 2
+        assert list(table.column("b")) == ["x", "y"]
+
+    def test_from_records_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_records("t", [])
+
+
+class TestAccess:
+    def test_column_access(self, customers):
+        assert customers.column("age")[1] == 40.0
+
+    def test_missing_column(self, customers):
+        with pytest.raises(SchemaError):
+            customers.column("salary")
+
+    def test_contains(self, customers):
+        assert "age" in customers
+        assert "salary" not in customers
+
+    def test_row_as_dict(self, customers):
+        row = customers.row(2)
+        assert row["age"] == 31.0
+        assert row["country"] == "us"
+
+    def test_row_out_of_range(self, customers):
+        with pytest.raises(IndexError):
+            customers.row(5)
+
+
+class TestRelationalOperations:
+    def test_project(self, customers):
+        projected = customers.project(["age", "income"])
+        assert projected.column_names == ["age", "income"]
+        assert projected.num_rows == 5
+
+    def test_project_missing_column(self, customers):
+        with pytest.raises(SchemaError):
+            customers.project(["age", "salary"])
+
+    def test_select_rows(self, customers):
+        subset = customers.select_rows([0, 3])
+        assert subset.num_rows == 2
+        assert subset.column("age")[1] == 58.0
+
+    def test_with_column_adds(self, customers):
+        extended = customers.with_column("bonus", np.zeros(5))
+        assert "bonus" in extended
+        assert "bonus" not in customers
+
+    def test_with_column_replaces(self, customers):
+        replaced = customers.with_column("age", np.zeros(5))
+        assert replaced.column("age").sum() == 0.0
+
+
+class TestKeyUtilities:
+    def test_key_position_index(self, customers):
+        index = customers.key_position_index("customer_id")
+        assert index[3] == 3
+
+    def test_key_position_index_duplicates(self):
+        table = Table("t", {"k": np.array([1, 1])})
+        with pytest.raises(SchemaError):
+            table.key_position_index("k")
+
+    def test_group_positions(self, customers):
+        groups = customers.group_positions("employer_id")
+        assert groups[0] == [0, 4]
+        assert groups[1] == [1, 2]
+
+
+class TestMatrixConversion:
+    def test_numeric_matrix_default_columns(self, customers):
+        matrix = customers.numeric_matrix(["age", "income"])
+        assert matrix.shape == (5, 2)
+        assert matrix.dtype == np.float64
+
+    def test_numeric_matrix_infers_numeric_schema_columns(self, customers):
+        matrix = customers.numeric_matrix()
+        # customer_id, age, income, employer_id are numeric by dtype inference.
+        assert matrix.shape[1] == 4
+
+    def test_numeric_matrix_rejects_categorical(self, customers):
+        with pytest.raises(SchemaError):
+            customers.numeric_matrix(["country"])
+
+    def test_numeric_matrix_empty_selection(self):
+        table = Table("t", {"c": np.array(["a", "b"])})
+        assert table.numeric_matrix().shape == (2, 0)

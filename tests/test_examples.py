@@ -1,0 +1,83 @@
+"""Smoke tests for the runnable examples.
+
+Each example exposes its workload-building and study functions, so these tests
+exercise them with small parameters (rather than the defaults) to keep the
+suite fast while still covering the end-to-end code paths the examples show.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import numpy as np
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example module by file path (examples/ is not a package)."""
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestQuickstartExample:
+    def test_main_runs(self, capsys):
+        quickstart = load_example("quickstart")
+        quickstart.main()
+        output = capsys.readouterr().out
+        assert "normalized matrix" in output
+        assert "factorized == materialized coefficients: True" in output
+
+
+class TestChurnExample:
+    def test_build_tables_shapes(self):
+        churn = load_example("churn_prediction")
+        customers, employers = churn.build_tables(num_customers=500, num_employers=20, seed=0)
+        assert customers.num_rows == 500
+        assert employers.num_rows == 20
+        assert "country" in employers
+
+
+class TestRecommendationExample:
+    def test_build_star_schema(self):
+        recsys = load_example("recommendation_star_schema")
+        ratings, users, movies = recsys.build_star_schema(num_ratings=400, num_users=40,
+                                                          num_movies=25, seed=1)
+        assert ratings.num_rows == 400
+        assert users.num_rows == 40
+        assert movies.num_rows == 25
+        assert set(ratings.column("user_id")) <= set(users.column("user_id"))
+
+
+class TestMNJoinExample:
+    def test_sweep_produces_monotone_output_sizes(self):
+        mn = load_example("mn_join_analysis")
+        lmm_results, crossprod_results = mn.sweep(uniqueness_degrees=(0.1, 0.5),
+                                                  num_rows=100, num_features=6)
+        assert len(lmm_results) == len(crossprod_results) == 2
+        assert lmm_results[0].parameters["output_rows"] > lmm_results[1].parameters["output_rows"]
+
+
+class TestOreScalabilityExample:
+    def test_pk_fk_study_rows(self):
+        ore = load_example("ore_scalability")
+        rows = ore.pk_fk_study(feature_ratios=(1,))
+        assert len(rows) == 1
+        assert rows[0][0] == "1"
+
+    def test_mn_study_rows(self):
+        ore = load_example("ore_scalability")
+        rows = ore.mn_study(uniqueness_degrees=(0.5,))
+        assert len(rows) == 1
+
+
+class TestRealDatasetsExample:
+    def test_study_dataset_reports_four_algorithms(self):
+        study = load_example("real_datasets_study")
+        rows = study.study_dataset("walmart", scale=0.003)
+        assert [name for name, _, _ in rows] == ["Lin. Reg.", "Log. Reg.", "K-Means", "GNMF"]
+        assert all(np.isfinite(speedup) and speedup > 0 for _, _, speedup in rows)
