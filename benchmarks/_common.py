@@ -1,7 +1,7 @@
 """Shared workloads and helpers for the benchmark suite.
 
 Every benchmark module reproduces one table or figure of the paper's
-evaluation (see DESIGN.md for the per-experiment index).  The datasets built
+evaluation (see docs/paper_map.md for the per-experiment index).  The datasets built
 here are laptop-scale versions of the paper's synthetic sweeps: the tuple
 ratio / feature ratio / uniqueness-degree axes are the paper's, the absolute
 sizes are shrunk so the whole suite finishes in minutes.

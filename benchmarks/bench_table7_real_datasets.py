@@ -3,7 +3,7 @@
 The paper's Table 7 reports, for each of the seven multi-table datasets, the
 materialized runtime and the Morpheus speed-up of linear regression, logistic
 regression, K-Means and GNMF.  We use the synthetic stand-ins of
-:mod:`repro.datasets.realworld` (same schemas, scaled down -- see DESIGN.md)
+:mod:`repro.datasets.realworld` (same schemas, scaled down -- see docs/paper_map.md)
 and benchmark the materialized and factorized runs of each algorithm.
 
 To keep the suite fast, per-dataset benchmarks cover logistic and linear

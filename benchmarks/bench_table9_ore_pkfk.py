@@ -2,7 +2,7 @@
 
 The paper runs logistic regression on Oracle R Enterprise over
 larger-than-memory data and varies the feature ratio.  We emulate ORE's
-``ore.rowapply`` execution with :class:`repro.la.ChunkedMatrix` (see DESIGN.md
+``ore.rowapply`` execution with :class:`repro.la.ChunkedMatrix` (see docs/paper_map.md
 for the substitution rationale): the materialized version streams the wide
 join output chunk by chunk, while the factorized version streams only the
 base-table chunks.

@@ -3,7 +3,7 @@
 The paper's scalability study runs logistic regression on Oracle R Enterprise,
 where every pass over the data is streamed through ``ore.rowapply``.  This
 example uses the library's :class:`~repro.la.ChunkedMatrix` substitute (see
-DESIGN.md): the materialized version streams the wide join output one row
+docs/paper_map.md): the materialized version streams the wide join output one row
 chunk at a time, while the factorized version works on the base-table matrices
 directly, so its runtime barely moves as the feature ratio or the join fan-out
 grows.

@@ -93,6 +93,20 @@ def main() -> None:
         print("factorized == materialized coefficients:",
               bool(np.allclose(model.coef_, standard.coef_)))
 
+        # 6. Lazy evaluation: build operator graphs instead of executing
+        #    immediately; join-invariant subexpressions are memoized across
+        #    iterations in a per-matrix FactorizedCache.
+        lazy = NormalizedMatrix(entity_features, [indicator], [attribute_features]).lazy()
+        lazy.crossprod().evaluate()       # computed via the factorized rewrite ...
+        lazy.crossprod().evaluate()       # ... then served from the cache
+        stats = lazy.cache.stats()
+        print(f"lazy crossprod cache: hits={stats.hits}, misses={stats.misses}")
+        lazy_model = LogisticRegressionGD(max_iter=100, step_size=1e-2,
+                                          update="exact", engine="lazy")
+        lazy_model.fit(lazy, target)
+        print("lazy == eager coefficients:",
+              bool(np.allclose(lazy_model.coef_, model.coef_, rtol=1e-8, atol=1e-10)))
+
 
 if __name__ == "__main__":
     main()

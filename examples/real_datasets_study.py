@@ -4,7 +4,7 @@ The paper's Table 7 reports the materialized runtime (``M``) and the Morpheus
 speed-up (``Sp``) of linear regression, logistic regression, K-Means and GNMF
 on seven real multi-table datasets.  This script regenerates that table over
 the synthetic stand-ins from :mod:`repro.datasets.realworld` (same schemas and
-sparsity, scaled down -- see DESIGN.md) and prints it in the paper's layout.
+sparsity, scaled down -- see docs/paper_map.md) and prints it in the paper's layout.
 
 Run with::
 

@@ -8,7 +8,8 @@ re-exports the public API most users need:
 >>> # build a normalized matrix from base-table matrices S, K, R ...
 >>> # and train any of the LA-based ML algorithms on it directly.
 
-See ``README.md`` for a quickstart and ``DESIGN.md`` for the system inventory.
+See ``README.md`` for a quickstart, ``docs/architecture.md`` for the layer
+map, and ``docs/paper_map.md`` for the paper-section to code inventory.
 """
 
 from repro.core import (
@@ -18,6 +19,9 @@ from repro.core import (
     morpheus,
     should_factorize,
     DecisionRule,
+    FactorizedCache,
+    LazyExpr,
+    as_lazy,
 )
 from repro.core.decision import morpheus_mn
 from repro.ml import (
@@ -41,6 +45,9 @@ __all__ = [
     "morpheus_mn",
     "should_factorize",
     "DecisionRule",
+    "FactorizedCache",
+    "LazyExpr",
+    "as_lazy",
     "LogisticRegressionGD",
     "LinearRegressionNE",
     "LinearRegressionGD",

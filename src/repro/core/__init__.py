@@ -16,6 +16,9 @@ This package implements the paper's primary contribution:
   Table 11.
 * :mod:`repro.core.decision` -- the heuristic decision rule of Section 3.7 /
   5.1 and the :func:`morpheus` factory that applies it.
+* :mod:`repro.core.lazy` -- deferred-evaluation expression graphs over
+  normalized matrices with cross-iteration memoization of join-invariant
+  subexpressions (``NormalizedMatrix.lazy()``, :class:`FactorizedCache`).
 """
 
 from repro.core.indicator import (
@@ -34,8 +37,14 @@ from repro.core.cost import (
     CostModel,
 )
 from repro.core.decision import DecisionRule, should_factorize, morpheus
+from repro.core.lazy import FactorizedCache, LazyExpr, as_lazy, constant, evaluate
 
 __all__ = [
+    "FactorizedCache",
+    "LazyExpr",
+    "as_lazy",
+    "constant",
+    "evaluate",
     "NormalizedMatrix",
     "MNNormalizedMatrix",
     "materialize",

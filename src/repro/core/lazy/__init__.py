@@ -1,0 +1,47 @@
+"""Lazy factorized linear algebra with cross-iteration memoization.
+
+This package adds a small deferred-evaluation layer on top of the normalized
+matrices:
+
+* :class:`~repro.core.lazy.expr.LazyExpr` -- immutable DAG nodes for the
+  paper's Table-1 operator set, built through normal Python operators from
+  ``NormalizedMatrix.lazy()`` / ``MNNormalizedMatrix.lazy()`` (or
+  :func:`as_lazy` for plain matrices).
+* :class:`~repro.core.lazy.cache.FactorizedCache` -- a per-matrix LRU store
+  memoizing the results of *join-invariant* subexpressions (those whose leaves
+  are all immutable base matrices or pinned :func:`constant` operands), with
+  hit/miss counters exposed for tests and benchmarks.
+* :func:`~repro.core.lazy.evaluator.evaluate` -- executes a graph through the
+  existing operator overloads and rewrite rules, so factorized execution,
+  backend neutrality (dense / sparse / chunked) and the closure property are
+  inherited unchanged from the eager path.
+
+The ML algorithms in :mod:`repro.ml` accept ``engine="lazy"`` to drive their
+inner loops through this layer, which computes join-invariant terms
+(``crossprod(T)``, ``T^T Y``, ``2 * T``, ``rowSums(T ^ 2)``, ...) once and
+reuses them across iterations.
+"""
+
+from repro.core.lazy.cache import CacheStats, FactorizedCache
+from repro.core.lazy.expr import (
+    LazyExpr,
+    LeafExpr,
+    as_lazy,
+    constant,
+    lazy_view,
+    wrap,
+)
+from repro.core.lazy.evaluator import evaluate, find_cache
+
+__all__ = [
+    "CacheStats",
+    "FactorizedCache",
+    "LazyExpr",
+    "LeafExpr",
+    "as_lazy",
+    "constant",
+    "lazy_view",
+    "wrap",
+    "evaluate",
+    "find_cache",
+]

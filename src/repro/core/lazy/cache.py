@@ -1,0 +1,131 @@
+"""The cross-iteration memoization cache for join-invariant subexpressions.
+
+Iterative ML workloads (Figures 8--10 of the paper: GD linear/logistic
+regression, K-Means, GNMF) evaluate the same factorized subexpressions --
+``crossprod(T)``, ``T^T Y``, ``2 * T``, ``rowSums(T ^ 2)`` -- once per
+iteration even though the base matrices ``(S, K, R)`` never change across
+iterations.  :class:`FactorizedCache` stores the results of such
+*join-invariant* subexpressions keyed by their structural expression hash so
+the lazy evaluator (:mod:`repro.core.lazy.evaluator`) computes each of them
+exactly once per distinct expression.
+
+The cache is deliberately small and observable: hit/miss/eviction counters are
+first-class so that tests can assert memoization semantics and benchmarks
+(``benchmarks/bench_lazy_memoization.py``) can report reuse rates alongside
+runtimes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Tuple
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of a cache's counters."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+
+class FactorizedCache:
+    """An LRU store for evaluated join-invariant subexpressions.
+
+    One cache is attached to each normalized matrix by
+    :meth:`~repro.core.normalized_matrix.NormalizedMatrix.lazy` and shared by
+    every lazy expression built from that matrix, so results survive across
+    iterations, across separately built expression graphs, and across
+    ``fit``/``predict`` calls on the same data.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of entries kept; the least recently used entry is
+        evicted first.  The default is generous for the ML workloads, whose
+        invariant-expression working set is a handful of nodes.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core protocol -------------------------------------------------------
+
+    def lookup(self, key: Hashable) -> Tuple[bool, Any]:
+        """Return ``(found, value)``, counting a hit or a miss."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return False, None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return True, value
+
+    def store(self, key: Hashable, value: Any) -> None:
+        """Insert *value* under *key*, evicting the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- observability -------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> CacheStats:
+        """Snapshot the counters (used by tests and benchmark reports)."""
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          evictions=self.evictions, size=len(self._entries),
+                          maxsize=self.maxsize)
+
+    def clear(self, reset_stats: bool = False) -> None:
+        """Drop all entries; optionally reset the counters too."""
+        self._entries.clear()
+        if reset_stats:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction counters without touching entries."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FactorizedCache(size={len(self._entries)}/{self.maxsize}, "
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+        )

@@ -147,6 +147,14 @@ class MNNormalizedMatrix:
             f"widths={self.component_widths}, transposed={self.transposed})"
         )
 
+    # -- lazy evaluation -----------------------------------------------------------
+
+    def lazy(self, cache=None):
+        """Lazy expression leaf over this matrix; see :meth:`NormalizedMatrix.lazy`."""
+        from repro.core.lazy import lazy_view
+
+        return lazy_view(self, cache=cache)
+
     # -- materialization -----------------------------------------------------------
 
     def materialize(self) -> MatrixLike:

@@ -224,6 +224,30 @@ class NormalizedMatrix:
             validate=False, crossprod_method=self.crossprod_method,
         )
 
+    # -- lazy evaluation ---------------------------------------------------------
+
+    def lazy(self, cache=None) -> "LazyExpr":
+        """Return a lazy expression leaf over this matrix (deferred evaluation).
+
+        Operators applied to the result build a :class:`~repro.core.lazy.expr.LazyExpr`
+        graph instead of executing immediately; ``.evaluate()`` runs the graph
+        through the same factorized rewrites as the eager path, memoizing
+        join-invariant subexpressions in a per-matrix
+        :class:`~repro.core.lazy.cache.FactorizedCache` so iterative
+        workloads compute them only once.  Repeated ``lazy()`` calls on the
+        same object share one cache; pass *cache* to share across matrices.
+        The base matrices are treated as immutable, as everywhere else.
+
+        The cache lives as long as this matrix and may hold data-sized
+        entries (e.g. the scaled copy ``2 T`` that a lazy K-Means fit
+        memoizes) -- a deliberate space-time tradeoff that lets later fits
+        start warm.  Call ``TN.lazy().cache.clear()`` to release the entries
+        while keeping the counters.
+        """
+        from repro.core.lazy import lazy_view
+
+        return lazy_view(self, cache=cache)
+
     # -- materialization ---------------------------------------------------------
 
     def materialize(self) -> MatrixLike:

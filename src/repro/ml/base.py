@@ -32,26 +32,77 @@ class IterativeEstimator(abc.ABC):
     track_history:
         When true, per-iteration diagnostics (loss, objective) are appended to
         ``history_``; tracking costs extra LA passes, so benchmarks turn it off.
+    engine:
+        ``"eager"`` (default) executes each LA operator immediately, exactly
+        as the paper's pseudo-code does.  ``"lazy"`` drives the inner loop
+        through :mod:`repro.core.lazy`: the per-iteration expressions are
+        built as :class:`~repro.core.lazy.expr.LazyExpr` graphs and evaluated
+        with cross-iteration memoization, so join-invariant terms
+        (``crossprod(T)``, ``T^T Y``, ``2 * T``, ...) are computed once and
+        served from the data matrix's
+        :class:`~repro.core.lazy.cache.FactorizedCache` on every later
+        iteration.  After a lazy ``fit`` the cache is exposed as
+        ``lazy_cache_`` for inspection.
     """
 
+    ENGINES = ("eager", "lazy")
+
     def __init__(self, max_iter: int = 20, step_size: float = 1e-3,
-                 seed: Optional[int] = 0, track_history: bool = False):
+                 seed: Optional[int] = 0, track_history: bool = False,
+                 engine: str = "eager"):
         if max_iter <= 0:
             raise ValueError("max_iter must be positive")
         if step_size <= 0:
             raise ValueError("step_size must be positive")
+        if engine not in self.ENGINES:
+            raise ValueError(f"engine must be one of {self.ENGINES}, got {engine!r}")
         self.max_iter = int(max_iter)
         self.step_size = float(step_size)
         self.seed = seed
         self.track_history = bool(track_history)
+        self.engine = engine
         self.history_: List[float] = []
+        #: FactorizedCache used by the last lazy fit (None for eager fits).
+        self.lazy_cache_ = None
 
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(self.seed)
 
+    def _lazy_data(self, data):
+        """Lazy view of *data* for the ``engine="lazy"`` paths.
+
+        Also records the attached cache in ``lazy_cache_`` so callers can
+        inspect hit/miss counters after training.
+        """
+        from repro.core.lazy import as_lazy, find_cache
+
+        lazy = as_lazy(data)
+        self.lazy_cache_ = find_cache(lazy)
+        return lazy
+
     @abc.abstractmethod
     def fit(self, data, *args, **kwargs):
         """Train the estimator; must be implemented by subclasses."""
+
+
+def unwrap_lazy(data):
+    """Accept a lazy view anywhere a *concrete* data matrix is needed.
+
+    A :class:`~repro.core.lazy.expr.LeafExpr` (what ``TN.lazy()`` returns)
+    unwraps to its wrapped operand and a composite graph is evaluated to a
+    concrete matrix.  Eager fit branches and the ``predict`` methods use
+    this; the ``engine="lazy"`` branches instead hand the original view to
+    :func:`~repro.core.lazy.expr.as_lazy`, which preserves the view's
+    attached :class:`~repro.core.lazy.cache.FactorizedCache` (important for
+    plain-matrix views, whose cache lives only on the leaf).
+    """
+    from repro.core.lazy.expr import LazyExpr, LeafExpr
+
+    if isinstance(data, LeafExpr):
+        return data.value
+    if isinstance(data, LazyExpr):
+        return data.evaluate()
+    return data
 
 
 def as_column(y) -> np.ndarray:

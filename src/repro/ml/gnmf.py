@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.la import ops as la_ops
 from repro.la.generic import to_dense_result
-from repro.ml.base import IterativeEstimator
+from repro.ml.base import IterativeEstimator, unwrap_lazy
 
 
 class GNMF(IterativeEstimator):
@@ -36,9 +36,10 @@ class GNMF(IterativeEstimator):
     """
 
     def __init__(self, rank: int = 5, max_iter: int = 20, seed: Optional[int] = 0,
-                 track_history: bool = False, epsilon: float = 1e-12):
+                 track_history: bool = False, epsilon: float = 1e-12,
+                 engine: str = "eager"):
         super().__init__(max_iter=max_iter, step_size=1.0, seed=seed,
-                         track_history=track_history)
+                         track_history=track_history, engine=engine)
         if rank <= 0:
             raise ValueError("rank must be positive")
         self.rank = int(rank)
@@ -65,13 +66,37 @@ class GNMF(IterativeEstimator):
             raise ValueError("initial factors have incompatible shapes")
 
         self.history_ = []
+        self.lazy_cache_ = None
+        if self.engine == "lazy":
+            # Both numerators run through the lazy layer; the transposed view
+            # of the data matrix is the join-invariant node reused (as a cache
+            # hit) by the H update of every iteration after the first.
+            lazy_t = self._lazy_data(data)
+            transposed_node = lazy_t.T
+            if self.track_history:
+                data = unwrap_lazy(data)  # concrete operand for the objective
+
+            def numerator_h_for(w):
+                return to_dense_result((transposed_node @ w).evaluate())
+
+            def numerator_w_for(h):
+                return to_dense_result((lazy_t @ h).evaluate())
+        else:
+            data = unwrap_lazy(data)
+
+            def numerator_h_for(w):
+                return to_dense_result(data.T @ w)
+
+            def numerator_w_for(h):
+                return to_dense_result(data @ h)
+
         for _ in range(self.max_iter):
             # H update: numerator T^T W is a factorized transposed LMM.
-            numerator_h = to_dense_result(data.T @ w)                    # d x r
+            numerator_h = numerator_h_for(w)                             # d x r
             denominator_h = h @ la_ops.crossprod(w) + self.epsilon       # d x r
             h = h * numerator_h / denominator_h
             # W update: numerator T H is a factorized LMM.
-            numerator_w = to_dense_result(data @ h)                      # n x r
+            numerator_w = numerator_w_for(h)                             # n x r
             denominator_w = w @ la_ops.crossprod(h) + self.epsilon       # n x r
             w = w * numerator_w / denominator_w
             if self.track_history:

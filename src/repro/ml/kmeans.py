@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.la import generic
 from repro.la.generic import to_dense_result
-from repro.ml.base import IterativeEstimator
+from repro.ml.base import IterativeEstimator, unwrap_lazy
 
 
 class KMeans(IterativeEstimator):
@@ -43,9 +43,10 @@ class KMeans(IterativeEstimator):
     """
 
     def __init__(self, num_clusters: int = 10, max_iter: int = 20,
-                 seed: Optional[int] = 0, track_history: bool = False):
+                 seed: Optional[int] = 0, track_history: bool = False,
+                 engine: str = "eager"):
         super().__init__(max_iter=max_iter, step_size=1.0, seed=seed,
-                         track_history=track_history)
+                         track_history=track_history, engine=engine)
         if num_clusters <= 0:
             raise ValueError("num_clusters must be positive")
         self.num_clusters = int(num_clusters)
@@ -69,24 +70,53 @@ class KMeans(IterativeEstimator):
                 f"initial centroids must have shape ({data.shape[1]}, {k}), got {centroids.shape}"
             )
 
-        ones_row = np.ones((1, k))
-        ones_col = np.ones((n, 1))
-        # Pre-compute the per-point squared norms: rowSums(T ^ 2), factorized.
-        point_norms = generic.rowsums(generic.square(data)) @ ones_row
-        data_twice = 2 * data
         self.history_ = []
+        self.lazy_cache_ = None
+
+        if self.engine == "lazy":
+            # The lazy path writes the invariant terms *inside* the loop and
+            # lets the FactorizedCache hoist them: rowSums(T ^ 2), the doubled
+            # matrix 2 T, and the transposed view are each computed once and
+            # served as cache hits on every later iteration.  The two
+            # rank-one products with all-ones vectors are replaced by NumPy
+            # broadcasting, which replicates the exact same values.
+            lazy_t = self._lazy_data(data)
+            norms_node = (lazy_t ** 2).rowsums()
+            twice_node = 2 * lazy_t
+            transposed_node = lazy_t.T
+
+            def distances_for(centroids):
+                centroid_norms = np.sum(centroids ** 2, axis=0, keepdims=True)   # 1 x k
+                cross_term = to_dense_result((twice_node @ centroids).evaluate())  # n x k LMM
+                return to_dense_result(norms_node.evaluate()) + centroid_norms - cross_term
+
+            def sums_for(assignment):
+                return to_dense_result((transposed_node @ assignment).evaluate())
+        else:
+            data = unwrap_lazy(data)
+            ones_row = np.ones((1, k))
+            ones_col = np.ones((n, 1))
+            # Pre-compute the per-point squared norms: rowSums(T ^ 2), factorized.
+            point_norms = generic.rowsums(generic.square(data)) @ ones_row
+            data_twice = 2 * data
+
+            def distances_for(centroids):
+                centroid_norms = np.sum(centroids ** 2, axis=0, keepdims=True)  # 1 x k
+                cross_term = to_dense_result(data_twice @ centroids)            # n x k LMM
+                return point_norms + ones_col @ centroid_norms - cross_term
+
+            def sums_for(assignment):
+                return to_dense_result(data.T @ assignment)
 
         assignment = None
         distances = None
         for _ in range(self.max_iter):
-            centroid_norms = np.sum(centroids ** 2, axis=0, keepdims=True)  # 1 x k
-            cross_term = to_dense_result(data_twice @ centroids)            # n x k, factorized LMM
-            distances = point_norms + ones_col @ centroid_norms - cross_term
+            distances = distances_for(centroids)
             labels = np.argmin(distances, axis=1)
             assignment = np.zeros((n, k))
             assignment[np.arange(n), labels] = 1.0
-            counts = assignment.sum(axis=0, keepdims=True)                  # 1 x k
-            sums = to_dense_result(data.T @ assignment)                     # d x k, factorized
+            counts = assignment.sum(axis=0, keepdims=True)                   # 1 x k
+            sums = sums_for(assignment)                                      # d x k, factorized
             # Keep the previous centroid for empty clusters instead of dividing by zero.
             safe_counts = np.where(counts > 0, counts, 1.0)
             updated = sums / safe_counts
@@ -104,6 +134,7 @@ class KMeans(IterativeEstimator):
         """Assign new rows to the nearest learned centroid."""
         if self.centroids_ is None:
             raise RuntimeError("model is not fitted")
+        data = unwrap_lazy(data)
         n = data.shape[0]
         k = self.num_clusters
         point_norms = generic.rowsums(generic.square(data)) @ np.ones((1, k))

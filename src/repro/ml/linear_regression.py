@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.la import generic
 from repro.la.generic import to_dense_result
-from repro.ml.base import IterativeEstimator, as_column, check_rows_match
+from repro.ml.base import IterativeEstimator, as_column, check_rows_match, unwrap_lazy
 
 
 class LinearRegressionNE:
@@ -37,6 +37,7 @@ class LinearRegressionNE:
 
     def fit(self, data, target) -> "LinearRegressionNE":
         """Solve ``w = ginv(T^T T) (T^T Y)``."""
+        data = unwrap_lazy(data)
         y = as_column(target)
         check_rows_match(data, y, "LinearRegressionNE.fit")
         if self.crossprod_method is not None and hasattr(data, "crossprod"):
@@ -50,16 +51,25 @@ class LinearRegressionNE:
     def predict(self, data) -> np.ndarray:
         if self.coef_ is None:
             raise RuntimeError("model is not fitted")
-        return to_dense_result(data @ self.coef_)
+        return to_dense_result(unwrap_lazy(data) @ self.coef_)
 
 
 class LinearRegressionGD(IterativeEstimator):
-    """Ordinary least squares via batch gradient descent (Algorithm 11/12)."""
+    """Ordinary least squares via batch gradient descent (Algorithm 11/12).
+
+    With ``engine="lazy"`` the gradient is evaluated through the lazy layer in
+    its normal-equation form ``crossprod(T) w - T^T Y`` (algebraically equal
+    to ``T^T (T w - Y)``; this is the same one-time-LA trick the co-factor
+    hybrid below uses).  Both ``crossprod(T)`` and ``T^T Y`` are join
+    invariant, so after the first iteration every pass costs two cache hits
+    plus ``O(d^2)`` regular arithmetic instead of two LA passes over the data.
+    """
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-6,
-                 seed: Optional[int] = 0, track_history: bool = False):
+                 seed: Optional[int] = 0, track_history: bool = False,
+                 engine: str = "eager"):
         super().__init__(max_iter=max_iter, step_size=step_size, seed=seed,
-                         track_history=track_history)
+                         track_history=track_history, engine=engine)
         self.coef_: Optional[np.ndarray] = None
 
     def fit(self, data, target, initial_weights: Optional[np.ndarray] = None
@@ -69,6 +79,12 @@ class LinearRegressionGD(IterativeEstimator):
         d = data.shape[1]
         w = as_column(initial_weights).copy() if initial_weights is not None else np.zeros((d, 1))
         self.history_ = []
+        self.lazy_cache_ = None
+        if self.engine == "lazy":
+            # Hand the original operand over: a lazy view keeps its attached
+            # FactorizedCache (as_lazy passes views through unchanged).
+            return self._fit_lazy(data, y, w)
+        data = unwrap_lazy(data)
         for _ in range(self.max_iter):
             residual = to_dense_result(data @ w) - y
             gradient = to_dense_result(data.T @ residual)
@@ -78,10 +94,25 @@ class LinearRegressionGD(IterativeEstimator):
         self.coef_ = w
         return self
 
+    def _fit_lazy(self, data, y: np.ndarray, w: np.ndarray) -> "LinearRegressionGD":
+        from repro.core.lazy import constant
+
+        lazy_t = self._lazy_data(data)
+        gram = lazy_t.crossprod()          # join-invariant: memoized after iter 1
+        projected = lazy_t.T @ constant(y)  # join-invariant: memoized after iter 1
+        for _ in range(self.max_iter):
+            if self.track_history:
+                residual = to_dense_result((lazy_t @ w).evaluate()) - y
+                self.history_.append(float(np.sum(residual ** 2)))
+            gradient = (gram @ w - projected).evaluate()
+            w = w - self.step_size * gradient
+        self.coef_ = w
+        return self
+
     def predict(self, data) -> np.ndarray:
         if self.coef_ is None:
             raise RuntimeError("model is not fitted")
-        return to_dense_result(data @ self.coef_)
+        return to_dense_result(unwrap_lazy(data) @ self.coef_)
 
 
 class LinearRegressionCofactor(IterativeEstimator):
@@ -106,6 +137,7 @@ class LinearRegressionCofactor(IterativeEstimator):
 
     def fit(self, data, target, initial_weights: Optional[np.ndarray] = None
             ) -> "LinearRegressionCofactor":
+        data = unwrap_lazy(data)
         y = as_column(target)
         check_rows_match(data, y, "LinearRegressionCofactor.fit")
         d = data.shape[1]
@@ -134,4 +166,4 @@ class LinearRegressionCofactor(IterativeEstimator):
     def predict(self, data) -> np.ndarray:
         if self.coef_ is None:
             raise RuntimeError("model is not fitted")
-        return to_dense_result(data @ self.coef_)
+        return to_dense_result(unwrap_lazy(data) @ self.coef_)

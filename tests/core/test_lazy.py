@@ -1,0 +1,443 @@
+"""Tests for the lazy expression graph and the cross-iteration memoization.
+
+Covers the four contract areas the lazy subsystem promises:
+
+* graph construction (operator nodes, shape propagation, invariance marking,
+  fail-fast shape errors),
+* memoization semantics (hit/miss counting, per-matrix cache reuse,
+  distinct keys for differing operands, non-invariant nodes never cached),
+* cache mechanics (LRU eviction, clearing, counter snapshots), and
+* eager-vs-lazy numerical equivalence for every Table-1 operator on PK-FK and
+  M:N normalized matrices with dense and sparse base matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.lazy import (
+    FactorizedCache,
+    LazyExpr,
+    LeafExpr,
+    as_lazy,
+    constant,
+    evaluate,
+    find_cache,
+    wrap,
+)
+from repro.exceptions import ShapeError
+from repro.la.generic import to_dense_result
+from repro.la.types import to_dense
+
+
+def dense_of(result) -> np.ndarray:
+    """Densify an evaluation result that may be normalized/sparse/scalar."""
+    if isinstance(result, (int, float, np.floating)):
+        return np.array([float(result)])
+    if hasattr(result, "materialize"):
+        return to_dense(result.materialize())
+    return np.atleast_1d(to_dense_result(result))
+
+
+# ---------------------------------------------------------------------------
+# Graph construction
+# ---------------------------------------------------------------------------
+
+class TestGraphConstruction:
+    def test_lazy_returns_invariant_leaf_with_cache(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        leaf = normalized.lazy()
+        assert isinstance(leaf, LeafExpr)
+        assert leaf.op == "leaf"
+        assert leaf.invariant
+        assert isinstance(leaf.cache, FactorizedCache)
+        assert leaf.shape == normalized.shape
+
+    def test_repeated_lazy_calls_share_cache_and_token(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        first, second = normalized.lazy(), normalized.lazy()
+        assert first.cache is second.cache
+        assert first.key == second.key
+
+    def test_operator_nodes_and_shapes(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        n, d = normalized.shape
+        lt = normalized.lazy()
+        assert lt.T.shape == (d, n)
+        assert lt.crossprod().shape == (d, d)
+        assert lt.ginv().shape == (d, n)
+        assert lt.rowsums().shape == (n, 1)
+        assert lt.colsums().shape == (1, d)
+        assert lt.total_sum().shape == ()
+        assert (lt @ np.ones((d, 3))).shape == (n, 3)
+        assert (2.0 * lt).shape == (n, d)
+        assert lt.exp().shape == (n, d)
+        assert (lt.sum(axis=0)).op == "colsums"
+        assert (lt.sum(axis=1)).op == "rowsums"
+        assert (lt.sum()).op == "total_sum"
+
+    def test_construction_performs_no_linear_algebra(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        lt = normalized.lazy()
+        expr = (2 * lt).crossprod().ginv() @ (lt.T @ np.ones((normalized.shape[0], 1)))
+        # Nothing was evaluated: the cache never saw a lookup or a store.
+        assert lt.cache.stats().lookups == 0
+        assert len(lt.cache) == 0
+        assert expr.num_nodes() >= 7
+
+    def test_shape_mismatch_raises_at_construction(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        lt = normalized.lazy()
+        with pytest.raises(ShapeError):
+            lt @ np.ones((normalized.shape[1] + 1, 2))
+        with pytest.raises(ShapeError):
+            lt + np.ones((3, 3))
+
+    def test_invariance_propagation(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        lt = normalized.lazy()
+        w = np.ones((normalized.shape[1], 1))
+        assert lt.crossprod().invariant
+        assert (2 * lt).T.invariant
+        assert (lt.T @ constant(np.ones((normalized.shape[0], 1)))).invariant
+        assert not (lt @ w).invariant          # auto-wrapped operands are mutable
+        assert not (lt @ wrap(w)).invariant
+        y = np.ones((normalized.shape[0], 1))
+        assert not ((lt @ w) - constant(y)).invariant
+
+    def test_axis_validation(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(ValueError):
+            normalized.lazy().sum(axis=2)
+
+    def test_describe_renders_tree(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        text = normalized.lazy().crossprod().describe()
+        assert "crossprod" in text and "leaf" in text
+
+
+# ---------------------------------------------------------------------------
+# Memoization semantics
+# ---------------------------------------------------------------------------
+
+class TestMemoization:
+    def test_crossprod_memoized_across_graphs(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        lt = normalized.lazy()
+        first = lt.crossprod().evaluate()
+        second = normalized.lazy().crossprod().evaluate()  # fresh graph, same matrix
+        stats = lt.cache.stats()
+        assert stats.misses == 1 and stats.hits == 1
+        assert first is second  # served from cache, not recomputed
+        np.testing.assert_allclose(first, materialized.T @ materialized, atol=1e-9)
+
+    def test_differing_scalar_operands_use_distinct_entries(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        lt = normalized.lazy()
+        doubled = (2 * lt).crossprod().evaluate()
+        tripled = (3 * lt).crossprod().evaluate()
+        assert lt.cache.stats().hits == 0  # no false sharing between 2T and 3T
+        np.testing.assert_allclose(doubled, 4 * (materialized.T @ materialized), atol=1e-8)
+        np.testing.assert_allclose(tripled, 9 * (materialized.T @ materialized), atol=1e-8)
+
+    def test_differing_constants_use_distinct_entries(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        lt = normalized.lazy()
+        y1 = np.ones((normalized.shape[0], 1))
+        y2 = 2 * y1
+        first = (lt.T @ constant(y1)).evaluate()
+        second = (lt.T @ constant(y2)).evaluate()
+        # Three distinct entries: the shared transpose node plus one matmul per
+        # constant -- the differing constants never share a product entry (the
+        # single hit is the shared transpose subexpression).
+        stats = lt.cache.stats()
+        assert stats.misses == 3 and stats.hits == 1
+        np.testing.assert_allclose(second, materialized.T @ y2, atol=1e-9)
+        np.testing.assert_allclose(first, materialized.T @ y1, atol=1e-9)
+
+    def test_equal_content_constants_share_entries(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        lt = normalized.lazy()
+        y = np.arange(normalized.shape[0], dtype=np.float64).reshape(-1, 1)
+        (lt.T @ constant(y)).evaluate()
+        (lt.T @ constant(y.copy())).evaluate()  # equal content, different object
+        assert lt.cache.stats().hits == 1
+
+    def test_non_invariant_nodes_never_cached(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        lt = normalized.lazy()
+        w = np.ones((normalized.shape[1], 1))
+        (lt @ w).evaluate()
+        (lt @ w).evaluate()
+        stats = lt.cache.stats()
+        assert stats.lookups == 0 and len(lt.cache) == 0
+
+    def test_invariant_subexpression_cached_inside_variant_graph(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        lt = normalized.lazy()
+        w = 0.01 * np.ones((normalized.shape[1], 1))
+        gram = lt.crossprod()
+        for iteration in range(4):
+            result = (gram @ w).evaluate()
+            np.testing.assert_allclose(
+                result, (materialized.T @ materialized) @ w, atol=1e-8
+            )
+        stats = lt.cache.stats()
+        assert stats.misses == 1 and stats.hits == 3  # >= 1 hit per later iteration
+
+    def test_two_matrices_never_collide(self, single_join_dense, multi_join_dense):
+        _, single, single_t = single_join_dense
+        _, multi, multi_t = multi_join_dense
+        shared = FactorizedCache()
+        a = single.lazy(cache=shared).colsums().evaluate()
+        b = multi.lazy(cache=shared).colsums().evaluate()
+        assert shared.stats().misses == 2 and shared.stats().hits == 0
+        np.testing.assert_allclose(np.asarray(a).ravel(), single_t.sum(axis=0), atol=1e-9)
+        np.testing.assert_allclose(np.asarray(b).ravel(), multi_t.sum(axis=0), atol=1e-9)
+
+    def test_shared_dag_node_evaluated_once_per_call(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        lt = normalized.lazy()
+        gram = lt.crossprod()
+        diff = (gram @ np.eye(normalized.shape[1])) - gram
+        np.testing.assert_allclose(
+            diff.evaluate(), np.zeros((normalized.shape[1],) * 2), atol=1e-9
+        )
+        # One shared invariant node: one miss on first use plus at most one
+        # hit for the second reference within the same evaluation.
+        assert lt.cache.stats().misses == 1
+
+    def test_explicit_cache_argument_wins(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        private = FactorizedCache()
+        normalized.lazy().crossprod().evaluate(cache=private)
+        assert private.stats().misses == 1
+        assert len(normalized.lazy().cache) == 0
+
+    def test_find_cache_locates_leaf_cache(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        lt = normalized.lazy()
+        expr = (2 * lt).crossprod() @ np.ones((normalized.shape[1], 1))
+        assert find_cache(expr) is lt.cache
+
+    def test_evaluate_without_any_cache_still_works(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        leaf = LeafExpr(normalized, invariant=True)  # no cache attached
+        result = leaf.crossprod().evaluate()
+        np.testing.assert_allclose(result, materialized.T @ materialized, atol=1e-9)
+
+    def test_evaluate_rejects_non_expressions(self):
+        with pytest.raises(TypeError):
+            evaluate(np.ones((2, 2)))
+
+    def test_distinct_lambdas_never_share_a_cache_entry(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        lt = normalized.lazy()
+        plus_one = dense_of(lt.apply(lambda v: v + 1.0).evaluate())
+        times_ten = dense_of(lt.apply(lambda v: v * 10.0).evaluate())
+        np.testing.assert_allclose(plus_one, materialized + 1.0, atol=1e-9)
+        np.testing.assert_allclose(times_ten, materialized * 10.0, atol=1e-9)
+
+    def test_bound_methods_of_distinct_instances_never_share(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+
+        class Scaler:
+            __slots__ = ("factor",)
+
+            def __init__(self, factor):
+                self.factor = factor
+
+            def transform(self, v):
+                return v * self.factor
+
+        lt = normalized.lazy()
+        doubled = dense_of(lt.apply(Scaler(2.0).transform).evaluate())
+        tenfold = dense_of(lt.apply(Scaler(10.0).transform).evaluate())
+        np.testing.assert_allclose(doubled, materialized * 2.0, atol=1e-9)
+        np.testing.assert_allclose(tenfold, materialized * 10.0, atol=1e-9)
+
+    def test_one_dimensional_operands_are_promoted(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        n, d = normalized.shape
+        w1d = np.linspace(-1.0, 1.0, d)
+        lt = normalized.lazy()
+        np.testing.assert_allclose(
+            dense_of((lt @ w1d).evaluate()), materialized @ w1d.reshape(-1, 1), atol=1e-9
+        )
+        y1d = np.ones(n)
+        np.testing.assert_allclose(
+            dense_of((lt.T @ constant(y1d)).evaluate()),
+            materialized.T @ y1d.reshape(-1, 1), atol=1e-9,
+        )
+        assert wrap(w1d).shape == (d, 1)
+        assert as_lazy(np.ones(5)).shape == (5, 1)
+
+    def test_same_function_object_is_memoized(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        lt = normalized.lazy()
+        shift = lambda v: v + 1.0  # noqa: E731 - needs a reusable function object
+        lt.apply(shift).evaluate()
+        lt.apply(shift).evaluate()
+        assert lt.cache.stats().hits == 1
+
+    def test_cached_dense_results_are_read_only(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        lt = normalized.lazy()
+        first = lt.rowsums().evaluate()
+        with pytest.raises(ValueError):
+            first[0, 0] = 123.0  # mutating a cached result must not corrupt it
+        again = lt.rowsums().evaluate()
+        np.testing.assert_allclose(
+            again, materialized.sum(axis=1, keepdims=True), atol=1e-9
+        )
+
+
+# ---------------------------------------------------------------------------
+# Cache mechanics
+# ---------------------------------------------------------------------------
+
+class TestFactorizedCache:
+    def test_lru_eviction(self):
+        cache = FactorizedCache(maxsize=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.lookup("a") == (True, 1)  # refresh "a"; "b" becomes LRU
+        cache.store("c", 3)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.stats().evictions == 1
+
+    def test_counters_and_hit_rate(self):
+        cache = FactorizedCache()
+        assert cache.hit_rate == 0.0
+        cache.lookup("missing")
+        cache.store("x", 42)
+        cache.lookup("x")
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5 and stats.lookups == 2
+
+    def test_clear_and_reset(self):
+        cache = FactorizedCache()
+        cache.store("x", 1)
+        cache.lookup("x")
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 1
+        cache.reset_counters()
+        assert cache.stats().lookups == 0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ValueError):
+            FactorizedCache(maxsize=0)
+
+
+# ---------------------------------------------------------------------------
+# Eager-vs-lazy operator equivalence
+# ---------------------------------------------------------------------------
+
+def _operator_cases(lt, eager, dense):
+    n, d = dense.shape
+    w = np.linspace(-1.0, 1.0, d).reshape(-1, 1)
+    x = np.linspace(0.5, 1.5, 2 * n).reshape(n, 2)
+    return [
+        ("matmul", lt @ w, eager @ w),
+        ("rmatmul", x.T @ lt, x.T @ eager),
+        ("transpose-matmul", lt.T @ x, eager.T @ x),
+        ("crossprod", lt.crossprod(), eager.crossprod()),
+        ("crossprod-naive", lt.crossprod("naive"), eager.crossprod("naive")),
+        ("gramian", lt.T.crossprod(), eager.T.crossprod()),
+        ("ginv", lt.ginv(), eager.ginv()),
+        ("rowsums", lt.rowsums(), eager.rowsums()),
+        ("colsums", lt.colsums(), eager.colsums()),
+        ("total_sum", lt.total_sum(), eager.total_sum()),
+        ("scale", 2.5 * lt, 2.5 * eager),
+        ("shift", lt + 1.0, eager + 1.0),
+        ("rsub", 1.0 - lt, 1.0 - eager),
+        ("power", lt ** 2, eager ** 2),
+        ("negate", -lt, -eager),
+        ("chain", ((lt * 2.0) + 1.0).rowsums(), ((eager * 2.0) + 1.0).rowsums()),
+        ("apply-exp", (lt * 0.01).exp(), (eager * 0.01).exp()),
+        ("elemwise-matrix", lt * np.full((n, d), 0.5), eager * np.full((n, d), 0.5)),
+        ("elemwise-sub", lt - np.full((n, d), 0.25), eager - np.full((n, d), 0.25)),
+    ]
+
+
+class TestOperatorEquivalence:
+    @pytest.mark.parametrize("fixture_name", [
+        "single_join_dense", "multi_join_dense", "no_entity_features",
+    ])
+    def test_pkfk_operators(self, fixture_name, request):
+        item = request.getfixturevalue(fixture_name)
+        normalized, dense = (item[1], to_dense(item[2])) if len(item) == 3 else \
+            (item[0], to_dense(item[1]))
+        lt = normalized.lazy()
+        for name, lazy_expr, eager_result in _operator_cases(lt, normalized, dense):
+            np.testing.assert_allclose(
+                dense_of(lazy_expr.evaluate()), dense_of(eager_result),
+                atol=1e-8, err_msg=f"operator {name} diverged",
+            )
+
+    def test_sparse_base_matrices(self, single_join_sparse):
+        normalized, dense = single_join_sparse
+        lt = normalized.lazy()
+        w = np.ones((dense.shape[1], 1))
+        np.testing.assert_allclose(dense_of((lt @ w).evaluate()), dense @ w, atol=1e-8)
+        np.testing.assert_allclose(lt.crossprod().evaluate(), dense.T @ dense, atol=1e-8)
+        np.testing.assert_allclose(
+            dense_of((2 * lt).rowsums().evaluate()),
+            (2 * dense).sum(axis=1, keepdims=True), atol=1e-8,
+        )
+
+    def test_mn_operators(self, mn_dataset):
+        _, normalized, materialized = mn_dataset
+        dense = to_dense(materialized)
+        lt = normalized.lazy()
+        w = np.ones((dense.shape[1], 1))
+        np.testing.assert_allclose(dense_of((lt @ w).evaluate()), dense @ w, atol=1e-8)
+        np.testing.assert_allclose(lt.crossprod().evaluate(), dense.T @ dense, atol=1e-8)
+        np.testing.assert_allclose(
+            dense_of(lt.colsums().evaluate()).ravel(), dense.sum(axis=0), atol=1e-8
+        )
+        np.testing.assert_allclose(
+            dense_of((lt ** 2).rowsums().evaluate()),
+            (dense ** 2).sum(axis=1, keepdims=True), atol=1e-8,
+        )
+        assert lt.cache is normalized.lazy().cache
+
+    def test_as_lazy_on_plain_matrix(self):
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((30, 4))
+        lt = as_lazy(data)
+        assert lt.invariant and lt.cache is not None
+        np.testing.assert_allclose(lt.crossprod().evaluate(), data.T @ data, atol=1e-9)
+        lt.crossprod().evaluate()
+        assert lt.cache.stats().hits == 1
+
+    def test_as_lazy_passthrough(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        lt = normalized.lazy()
+        assert as_lazy(lt) is lt
+
+    def test_constant_accepts_no_token_override(self):
+        # Keys always come from the content digest, so two different
+        # constants can never be forced onto one cache entry.
+        with pytest.raises(TypeError):
+            constant(np.ones((2, 1)), name="y")
+
+    def test_constant_repins_non_invariant_leaves(self):
+        y = np.ones((4, 1))
+        assert not wrap(y).invariant
+        assert constant(wrap(y)).invariant
+        # Content hashing still applies, so equal content shares a key.
+        assert constant(wrap(y)).key == constant(y).key
+
+    def test_as_lazy_honours_explicit_empty_cache(self):
+        # An empty FactorizedCache is falsy (it has __len__); it must still be
+        # adopted when passed explicitly.
+        data = np.arange(12, dtype=np.float64).reshape(4, 3)
+        shared = FactorizedCache()
+        lt = as_lazy(data, cache=shared)
+        assert lt.cache is shared
+        lt.crossprod().evaluate()
+        lt.crossprod().evaluate()
+        assert shared.stats().hits == 1 and shared.stats().misses == 1
