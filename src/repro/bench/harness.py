@@ -9,6 +9,7 @@ noisy estimator of the achievable runtime).
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
@@ -16,18 +17,31 @@ from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 @dataclass
 class TimingResult:
-    """Wall-clock timings of one callable."""
+    """Wall-clock timings of one callable.
+
+    ``best``/``mean`` summarize the *finite* timings only: a NaN entry (the
+    conventional marker for a failed or skipped repeat) is ignored rather
+    than poisoning every downstream report, and an empty or all-NaN result
+    reports NaN explicitly so callers can detect the missing measurement.
+    """
 
     label: str
     seconds: List[float] = field(default_factory=list)
 
     @property
+    def valid_seconds(self) -> List[float]:
+        """The finite timings (failed repeats recorded as NaN/inf are dropped)."""
+        return [s for s in self.seconds if math.isfinite(s)]
+
+    @property
     def best(self) -> float:
-        return min(self.seconds) if self.seconds else float("nan")
+        valid = self.valid_seconds
+        return min(valid) if valid else float("nan")
 
     @property
     def mean(self) -> float:
-        return sum(self.seconds) / len(self.seconds) if self.seconds else float("nan")
+        valid = self.valid_seconds
+        return sum(valid) / len(valid) if valid else float("nan")
 
 
 @dataclass
@@ -40,6 +54,15 @@ class SpeedupResult:
 
     @property
     def speedup(self) -> float:
+        """Materialized-over-factorized ratio; NaN when either side is unmeasured.
+
+        A missing timing (NaN on either side) must not masquerade as a real
+        ratio -- ``nan / x`` and ``x / nan`` already yield NaN, but
+        ``nan <= 0`` is False, so without the explicit guard a NaN factorized
+        time would fall through to the division and *look* intentional.
+        """
+        if math.isnan(self.materialized_seconds) or math.isnan(self.factorized_seconds):
+            return float("nan")
         if self.factorized_seconds <= 0:
             return float("inf")
         return self.materialized_seconds / self.factorized_seconds

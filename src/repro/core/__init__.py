@@ -19,6 +19,10 @@ This package implements the paper's primary contribution:
 * :mod:`repro.core.lazy` -- deferred-evaluation expression graphs over
   normalized matrices with cross-iteration memoization of join-invariant
   subexpressions (``NormalizedMatrix.lazy()``, :class:`FactorizedCache`).
+* :mod:`repro.core.shard` -- row-sharded parallel execution
+  (``NormalizedMatrix.shard()``, :class:`ShardedMatrix`,
+  :class:`ShardedNormalizedMatrix`) fanning the Table-1 operators out over
+  the worker pools of :mod:`repro.la.parallel`.
 """
 
 from repro.core.indicator import (
@@ -38,8 +42,12 @@ from repro.core.cost import (
 )
 from repro.core.decision import DecisionRule, should_factorize, morpheus
 from repro.core.lazy import FactorizedCache, LazyExpr, as_lazy, constant, evaluate
+from repro.core.shard import ShardedMatrix, ShardedNormalizedMatrix, shard_bounds
 
 __all__ = [
+    "ShardedMatrix",
+    "ShardedNormalizedMatrix",
+    "shard_bounds",
     "FactorizedCache",
     "LazyExpr",
     "as_lazy",

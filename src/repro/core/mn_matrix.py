@@ -147,6 +147,18 @@ class MNNormalizedMatrix:
             f"widths={self.component_widths}, transposed={self.transposed})"
         )
 
+    # -- sharded parallel execution --------------------------------------------------
+
+    def shard(self, n_shards: int, pool=None):
+        """Row-shard this matrix for parallel factorized execution.
+
+        Slices every indicator matrix by rows while sharing the component
+        matrices; see :meth:`NormalizedMatrix.shard` for the pool options.
+        """
+        from repro.core.shard import ShardedNormalizedMatrix
+
+        return ShardedNormalizedMatrix.from_normalized(self, n_shards, pool=pool)
+
     # -- lazy evaluation -----------------------------------------------------------
 
     def lazy(self, cache=None):

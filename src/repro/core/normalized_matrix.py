@@ -224,6 +224,23 @@ class NormalizedMatrix:
             validate=False, crossprod_method=self.crossprod_method,
         )
 
+    # -- sharded parallel execution ----------------------------------------------
+
+    def shard(self, n_shards: int, pool=None) -> "ShardedNormalizedMatrix":
+        """Row-shard this matrix for parallel factorized execution.
+
+        Returns a :class:`~repro.core.shard.ShardedNormalizedMatrix` whose
+        pieces slice the entity and indicator matrices (the attribute
+        matrices are shared by reference) and whose Table-1 operators fan out
+        over *pool* -- ``"serial"``, ``"thread"`` (default), ``"process"``, a
+        worker count, a :class:`~repro.la.parallel.WorkerPool`, or any
+        ``concurrent.futures`` executor.  The shard count is clamped to the
+        row count; ``n_shards=1`` executes bit-for-bit like this matrix.
+        """
+        from repro.core.shard import ShardedNormalizedMatrix
+
+        return ShardedNormalizedMatrix.from_normalized(self, n_shards, pool=pool)
+
     # -- lazy evaluation ---------------------------------------------------------
 
     def lazy(self, cache=None) -> "LazyExpr":

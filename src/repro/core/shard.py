@@ -1,0 +1,823 @@
+"""Row-sharded operands executing Table-1 operators through a worker pool.
+
+Every factorized operator of the paper is embarrassingly parallel over row
+shards of the (logical) data matrix: row-sharding ``T`` corresponds to
+row-sharding the entity matrix ``S`` and the indicator matrices ``K_i``/``I_i``
+while *sharing* the attribute matrices ``R_i``, and each Table-1 operator
+either concatenates per-shard results (LMM, ``rowSums``, element-wise ops) or
+sums them (RMM, ``crossprod``, ``colSums``, ``sum``).  This module provides
+the two operand types that exploit that:
+
+* :class:`ShardedMatrix` -- a plain dense/sparse matrix stored as row shards,
+  the parallel sibling of :class:`repro.la.chunked.ChunkedMatrix`.
+* :class:`ShardedNormalizedMatrix` -- row shards of a
+  :class:`~repro.core.normalized_matrix.NormalizedMatrix` or
+  :class:`~repro.core.mn_matrix.MNNormalizedMatrix`, built with their
+  ``.shard(n_shards, pool=...)`` methods.  Each shard is itself a normalized
+  matrix, so every per-shard operator runs through the *existing* factorized
+  rewrite rules; this class only fans out and reduces.
+
+Both types dispatch shard work through a
+:class:`~repro.la.parallel.ParallelExecutor` whose pool is pluggable (serial /
+threads / processes / any ``concurrent.futures`` executor).  All shard
+functions are module-level so they survive pickling into a
+:class:`~repro.la.parallel.ProcessPool`; only ``elementwise`` with a
+non-picklable callable is thread/serial-only.
+
+With one shard the fan-out degenerates to the unsharded computation -- the
+executor runs single-item maps inline and the reductions are identity
+operations -- so ``n_shards=1`` is bit-for-bit identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.la import generic
+from repro.la import ops as la_ops
+from repro.la.parallel import ParallelExecutor, PoolSpec
+from repro.la.types import MatrixLike, ensure_2d, is_matrix_like, is_sparse, to_dense
+
+Scalar = Union[int, float, np.floating, np.integer]
+
+_PY_OPS = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "**": operator.pow,
+}
+
+_EW_UFUNCS = {"+": np.add, "-": np.subtract, "*": np.multiply, "/": np.divide}
+
+
+def _is_scalar(value: object) -> bool:
+    return isinstance(value, (int, float, np.floating, np.integer)) and not isinstance(value, bool)
+
+
+def shard_bounds(n_rows: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous row partition: ``[(start, stop), ...]``.
+
+    The shard count is clamped to the row count (a 1-row matrix yields one
+    shard no matter what was requested), and row surplus goes to the leading
+    shards so sizes differ by at most one.
+    """
+    if n_rows < 1:
+        raise ShapeError("cannot shard a matrix with no rows")
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    n_shards = min(int(n_shards), int(n_rows))
+    base, extra = divmod(int(n_rows), n_shards)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(n_shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+# ---------------------------------------------------------------------------
+# Module-level shard functions (picklable, so ProcessPool works).
+# Each takes one argument tuple and handles both plain shards and normalized
+# pieces, dispatching plain matrices through repro.la.ops and logical pieces
+# through their own (factorized) operator overloads.
+# ---------------------------------------------------------------------------
+
+def _shard_matmul(args):
+    shard, other = args
+    if is_matrix_like(shard):
+        return la_ops.matmul(shard, other)
+    return shard @ other
+
+
+def _shard_rmatmul(args):
+    other_slice, shard = args
+    if is_matrix_like(shard):
+        return la_ops.matmul(other_slice, shard)
+    return other_slice @ shard
+
+
+def _shard_transpose_matmul(args):
+    shard, other_slice = args
+    if is_matrix_like(shard):
+        return to_dense(la_ops.matmul(la_ops.transpose(shard), other_slice))
+    return shard.T @ other_slice
+
+
+def _shard_crossprod(args):
+    shard, method = args
+    if hasattr(shard, "crossprod"):
+        return shard.crossprod(method) if method else shard.crossprod()
+    return to_dense(la_ops.crossprod(shard))
+
+
+def _shard_rowsums(shard):
+    return generic.rowsums(shard)
+
+
+def _shard_colsums(shard):
+    return generic.colsums(shard)
+
+
+def _shard_total_sum(shard):
+    return generic.total_sum(shard)
+
+
+def _shard_scalar_op(args):
+    shard, op, scalar, reverse = args
+    if is_matrix_like(shard):
+        return la_ops.scalar_op(shard, op, scalar, reverse=reverse)
+    fn = _PY_OPS[op]
+    return fn(scalar, shard) if reverse else fn(shard, scalar)
+
+
+def _shard_elementwise_fn(args):
+    shard, fn = args
+    return generic.elementwise(shard, fn)
+
+
+def _shard_elementwise_matrix(args):
+    shard, other_slice, op, reverse = args
+    if is_matrix_like(shard):
+        fn = _EW_UFUNCS[op]
+        left = to_dense(ensure_2d(other_slice)) if reverse else to_dense(ensure_2d(shard))
+        right = to_dense(ensure_2d(shard)) if reverse else to_dense(ensure_2d(other_slice))
+        return fn(left, right)
+    fn = _PY_OPS[op]
+    return fn(other_slice, shard) if reverse else fn(shard, other_slice)
+
+
+def _shard_materialize(shard):
+    return shard.materialize() if hasattr(shard, "materialize") else shard
+
+
+def _shard_pair_outer(args):
+    """One ``T_i T_j^T`` block of the transposed cross-product."""
+    left, right = args
+    return to_dense(left @ right.T)
+
+
+def _split_rows(matrix: MatrixLike, bounds: Sequence[Tuple[int, int]]) -> List[MatrixLike]:
+    matrix = ensure_2d(matrix)
+    return [matrix[start:stop, :] for start, stop in bounds]
+
+
+def _split_cols(matrix: MatrixLike, bounds: Sequence[Tuple[int, int]]) -> List[MatrixLike]:
+    matrix = ensure_2d(matrix)
+    return [matrix[:, start:stop] for start, stop in bounds]
+
+
+def _sum_partials(parts: List):
+    total = parts[0]
+    for part in parts[1:]:
+        total = total + part
+    return total
+
+
+class TransposedShardedView:
+    """Read-only transpose view of a :class:`ShardedMatrix`.
+
+    Like :class:`repro.la.chunked.TransposedChunkedView`, it supports exactly
+    the ``T.T @ X`` products the ML scripts use, delegating to the parent's
+    parallel :meth:`ShardedMatrix.transpose_matmul`.
+    """
+
+    __array_ufunc__ = None
+    __array_priority__ = 1000
+
+    def __init__(self, parent: "ShardedMatrix"):
+        self._parent = parent
+
+    @property
+    def shape(self) -> tuple:
+        rows, cols = self._parent.shape
+        return (cols, rows)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def T(self) -> "ShardedMatrix":
+        return self._parent
+
+    def __matmul__(self, other: MatrixLike) -> np.ndarray:
+        return self._parent.transpose_matmul(other)
+
+    def to_dense(self) -> np.ndarray:
+        return self._parent.to_dense().T
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TransposedShardedView(shape={self.shape})"
+
+
+class ShardedMatrix:
+    """A plain matrix stored as row shards with a pluggable worker pool.
+
+    The operator surface matches :class:`~repro.la.chunked.ChunkedMatrix`
+    (the Table-1 subset the rewrite rules and ML algorithms need) but every
+    operator fans its per-shard work out through the attached
+    :class:`~repro.la.parallel.ParallelExecutor` and reduces the partials.
+    Size-of-input results (LMM outputs, element-wise results) stay sharded and
+    share the pool; small results (aggregates, Gram matrices) come back as
+    ordinary in-memory matrices.
+    """
+
+    __array_ufunc__ = None
+    __array_priority__ = 1000
+
+    def __init__(self, shards: Sequence[MatrixLike], pool: PoolSpec = None,
+                 executor: Optional[ParallelExecutor] = None):
+        if not shards:
+            raise ShapeError("ShardedMatrix requires at least one shard")
+        self.shards: List[MatrixLike] = [ensure_2d(s) for s in shards]
+        widths = {s.shape[1] for s in self.shards}
+        if len(widths) != 1:
+            raise ShapeError(
+                f"all shards must have the same number of columns, got {sorted(widths)}"
+            )
+        self._n_cols = self.shards[0].shape[1]
+        self._n_rows = sum(s.shape[0] for s in self.shards)
+        bounds, start = [], 0
+        for shard in self.shards:
+            bounds.append((start, start + shard.shape[0]))
+            start += shard.shape[0]
+        self.bounds: List[Tuple[int, int]] = bounds
+        self.executor = executor if executor is not None else ParallelExecutor(
+            pool, default_max_workers=len(self.shards)
+        )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_matrix(cls, matrix: MatrixLike, n_shards: int, pool: PoolSpec = None
+                    ) -> "ShardedMatrix":
+        """Partition an in-memory matrix into *n_shards* balanced row shards."""
+        matrix = ensure_2d(matrix)
+        return cls(_split_rows(matrix, shard_bounds(matrix.shape[0], n_shards)), pool=pool)
+
+    def _sibling(self, shards: Sequence[MatrixLike]) -> "ShardedMatrix":
+        """A result matrix sharing this one's executor (and therefore pool)."""
+        return ShardedMatrix(shards, executor=self.executor)
+
+    # -- basic properties ----------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return (self._n_rows, self._n_cols)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def T(self) -> "TransposedShardedView":
+        return TransposedShardedView(self)
+
+    def to_matrix(self) -> MatrixLike:
+        if all(is_sparse(s) for s in self.shards):
+            return la_ops.vstack(self.shards)
+        return np.vstack([to_dense(s) for s in self.shards])
+
+    def to_dense(self) -> np.ndarray:
+        return to_dense(self.to_matrix())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedMatrix(shape={self.shape}, shards={self.num_shards}, "
+                f"pool={self.executor.pool.name})")
+
+    # -- aggregations --------------------------------------------------------
+
+    def rowsums(self) -> np.ndarray:
+        return np.vstack(self.executor.map(_shard_rowsums, self.shards))
+
+    def colsums(self) -> np.ndarray:
+        return _sum_partials(self.executor.map(_shard_colsums, self.shards))
+
+    def total_sum(self) -> float:
+        return float(sum(self.executor.map(_shard_total_sum, self.shards)))
+
+    def sum(self, axis: Optional[int] = None):
+        if axis is None:
+            return self.total_sum()
+        if axis == 0:
+            return self.colsums()
+        if axis == 1:
+            return self.rowsums()
+        raise ValueError("axis must be None, 0 or 1")
+
+    # -- products ------------------------------------------------------------
+
+    def matmul(self, other: MatrixLike) -> "ShardedMatrix":
+        """Left multiplication ``self @ other``; the result stays sharded."""
+        other = ensure_2d(other)
+        if other.shape[0] != self._n_cols:
+            raise ShapeError(f"matmul: {self.shape} @ {other.shape}")
+        parts = self.executor.map(_shard_matmul, [(s, other) for s in self.shards])
+        return self._sibling(parts)
+
+    def rmatmul(self, other: MatrixLike) -> MatrixLike:
+        """Right multiplication ``other @ self`` as an in-memory matrix."""
+        other = ensure_2d(other)
+        if other.shape[1] != self._n_rows:
+            raise ShapeError(f"rmatmul: {other.shape} @ {self.shape}")
+        slices = _split_cols(other, self.bounds)
+        parts = self.executor.map(_shard_rmatmul, list(zip(slices, self.shards)))
+        return _sum_partials(parts)
+
+    def transpose_matmul(self, other: MatrixLike) -> np.ndarray:
+        """Compute ``self.T @ other`` (with *other* row-aligned to ``self``)."""
+        other = ensure_2d(other)
+        if other.shape[0] != self._n_rows:
+            raise ShapeError(f"transpose_matmul: {self.shape}.T @ {other.shape}")
+        slices = _split_rows(other, self.bounds)
+        parts = self.executor.map(_shard_transpose_matmul, list(zip(self.shards, slices)))
+        return _sum_partials(parts)
+
+    def crossprod(self, method: Optional[str] = None) -> np.ndarray:
+        """Gram matrix ``self.T @ self`` as a sum of per-shard Gram matrices.
+
+        *method* is accepted for signature compatibility with the normalized
+        matrices (callers like ``LinearRegressionNE(crossprod_method=...)``
+        pass it to whatever operand they hold) and ignored: a plain matrix
+        has no naive/efficient rewrite distinction.
+        """
+        parts = self.executor.map(_shard_crossprod, [(s, None) for s in self.shards])
+        return _sum_partials([to_dense(p) for p in parts])
+
+    # -- element-wise --------------------------------------------------------
+
+    def scalar_op(self, op: str, scalar: Scalar, reverse: bool = False) -> "ShardedMatrix":
+        parts = self.executor.map(
+            _shard_scalar_op, [(s, op, float(scalar), reverse) for s in self.shards]
+        )
+        return self._sibling(parts)
+
+    def elementwise(self, fn: Callable[[np.ndarray], np.ndarray]) -> "ShardedMatrix":
+        parts = self.executor.map(_shard_elementwise_fn, [(s, fn) for s in self.shards])
+        return self._sibling(parts)
+
+    def _elementwise_matrix(self, other: MatrixLike, op: str, reverse: bool) -> "ShardedMatrix":
+        other = ensure_2d(other)
+        if tuple(other.shape) != self.shape:
+            raise ShapeError(
+                f"element-wise op: shape mismatch {self.shape} vs {tuple(other.shape)}"
+            )
+        slices = _split_rows(other, self.bounds)
+        parts = self.executor.map(
+            _shard_elementwise_matrix,
+            [(s, o, op, reverse) for s, o in zip(self.shards, slices)],
+        )
+        return self._sibling(parts)
+
+    def _binary(self, op: str, other, reverse: bool):
+        if _is_scalar(other):
+            return self.scalar_op(op, other, reverse=reverse)
+        if is_matrix_like(other):
+            return self._elementwise_matrix(other, op, reverse=reverse)
+        return NotImplemented
+
+    # -- Python operator protocol --------------------------------------------
+
+    def __matmul__(self, other: MatrixLike) -> "ShardedMatrix":
+        return self.matmul(other)
+
+    def __rmatmul__(self, other: MatrixLike) -> MatrixLike:
+        return self.rmatmul(other)
+
+    def __mul__(self, other):
+        return self._binary("*", other, reverse=False)
+
+    def __rmul__(self, other):
+        return self._binary("*", other, reverse=True)
+
+    def __add__(self, other):
+        return self._binary("+", other, reverse=False)
+
+    def __radd__(self, other):
+        return self._binary("+", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._binary("-", other, reverse=False)
+
+    def __rsub__(self, other):
+        return self._binary("-", other, reverse=True)
+
+    def __truediv__(self, other):
+        return self._binary("/", other, reverse=False)
+
+    def __rtruediv__(self, other):
+        return self._binary("/", other, reverse=True)
+
+    def __pow__(self, exponent):
+        if _is_scalar(exponent):
+            return self.scalar_op("**", exponent)
+        return NotImplemented
+
+    def __neg__(self):
+        return self.scalar_op("*", -1.0)
+
+    # -- lazy / iteration ----------------------------------------------------
+
+    def lazy(self, cache=None):
+        """Lazy expression leaf over this matrix (see ``NormalizedMatrix.lazy``)."""
+        from repro.core.lazy import lazy_view
+
+        return lazy_view(self, cache=cache)
+
+    def __iter__(self) -> Iterable[MatrixLike]:
+        return iter(self.shards)
+
+
+class ShardedNormalizedMatrix:
+    """Row shards of a normalized matrix, fanned out over a worker pool.
+
+    Built by ``NormalizedMatrix.shard(n_shards, pool=...)`` or
+    ``MNNormalizedMatrix.shard(...)``: each piece is a row slice of the
+    logical join output -- the entity and indicator matrices are sliced, the
+    attribute matrices are shared by reference -- and is itself a normalized
+    matrix, so every per-shard operator executes through the factorized
+    rewrite rules of :mod:`repro.core.rewrite` unchanged.  This wrapper only
+    decides how to fan out and how to reduce:
+
+    ==================  =========================================
+    operator            reduction over per-shard partials
+    ==================  =========================================
+    ``T @ X`` (LMM)     concatenate rows (stays sharded)
+    ``X @ T`` (RMM)     sum of ``X_i @ T_i``
+    ``T^T @ Y``         sum of ``T_i^T @ Y_i``
+    ``crossprod(T)``    sum of ``crossprod(T_i)``
+    ``rowSums``         concatenate; ``colSums``/``sum``: sum
+    scalar ops, ``f(T)``  per-shard, closed (stays sharded+normalized)
+    ``crossprod(T^T)``  block grid of ``T_i T_j^T`` pair products
+    ==================  =========================================
+
+    Transposition flips a flag, exactly like the eager classes, and the
+    transposed operators are routed through the identities of Appendix A so
+    the pieces themselves always stay untransposed.
+    """
+
+    __array_ufunc__ = None
+    # Above plain matrices and NormalizedMatrix (1000), below LazyExpr (2000),
+    # so mixed expressions resolve to the sharded overloads.
+    __array_priority__ = 1500
+
+    def __init__(self, pieces: Sequence, transposed: bool = False, pool: PoolSpec = None,
+                 executor: Optional[ParallelExecutor] = None):
+        if not pieces:
+            raise ShapeError("ShardedNormalizedMatrix requires at least one piece")
+        widths = {p.shape[1] for p in pieces}
+        if len(widths) != 1:
+            raise ShapeError(
+                f"all pieces must have the same number of columns, got {sorted(widths)}"
+            )
+        if any(getattr(p, "transposed", False) for p in pieces):
+            raise ShapeError("pieces must be untransposed; use the wrapper's transposed flag")
+        self.pieces: List = list(pieces)
+        self.transposed = bool(transposed)
+        bounds, start = [], 0
+        for piece in self.pieces:
+            bounds.append((start, start + piece.shape[0]))
+            start += piece.shape[0]
+        self.bounds: List[Tuple[int, int]] = bounds
+        self.executor = executor if executor is not None else ParallelExecutor(
+            pool, default_max_workers=len(self.pieces)
+        )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_normalized(cls, source, n_shards: int, pool: PoolSpec = None
+                        ) -> "ShardedNormalizedMatrix":
+        """Shard *source* (a PK-FK or M:N normalized matrix) into row pieces.
+
+        Row shards of the logical ``T`` slice the entity and indicator
+        matrices; the attribute matrices are shared, not copied.  Sharding a
+        transposed matrix shards the rows of the *untransposed* ``T`` and
+        carries the flag on the wrapper.
+        """
+        plain = source.T if source.transposed else source
+        bounds = shard_bounds(plain.shape[0], n_shards)
+        pieces = [_slice_piece(plain, start, stop) for start, stop in bounds]
+        return cls(pieces, transposed=source.transposed, pool=pool)
+
+    def _sibling_pieces(self, pieces: Sequence) -> "ShardedNormalizedMatrix":
+        return ShardedNormalizedMatrix(pieces, transposed=self.transposed,
+                                       executor=self.executor)
+
+    def _sharded_result(self, parts: Sequence[MatrixLike]) -> ShardedMatrix:
+        return ShardedMatrix(parts, executor=self.executor)
+
+    # -- shape and metadata --------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.pieces)
+
+    @property
+    def logical_rows(self) -> int:
+        return self.bounds[-1][1]
+
+    @property
+    def logical_cols(self) -> int:
+        return self.pieces[0].shape[1]
+
+    @property
+    def shape(self) -> tuple:
+        if self.transposed:
+            return (self.logical_cols, self.logical_rows)
+        return (self.logical_rows, self.logical_cols)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def T(self) -> "ShardedNormalizedMatrix":
+        return ShardedNormalizedMatrix(self.pieces, transposed=not self.transposed,
+                                       executor=self.executor)
+
+    def transpose(self) -> "ShardedNormalizedMatrix":
+        return self.T
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedNormalizedMatrix(shape={self.shape}, shards={self.num_shards}, "
+                f"pool={self.executor.pool.name}, transposed={self.transposed})")
+
+    # -- materialization ------------------------------------------------------
+
+    def materialize(self) -> MatrixLike:
+        parts = self.executor.map(_shard_materialize, self.pieces)
+        matrix = la_ops.vstack(parts)
+        return matrix.T if self.transposed else matrix
+
+    def to_dense(self) -> np.ndarray:
+        return to_dense(self.materialize())
+
+    # -- element-wise scalar operators ----------------------------------------
+
+    def _scalar_result(self, op: str, scalar: Scalar, reverse: bool
+                       ) -> "ShardedNormalizedMatrix":
+        pieces = self.executor.map(
+            _shard_scalar_op, [(p, op, float(scalar), reverse) for p in self.pieces]
+        )
+        return self._sibling_pieces(pieces)
+
+    def apply(self, fn: Callable[[np.ndarray], np.ndarray]) -> "ShardedNormalizedMatrix":
+        """Element-wise scalar function ``f(T)``, applied shard-wise (closed)."""
+        pieces = self.executor.map(_shard_elementwise_fn, [(p, fn) for p in self.pieces])
+        return self._sibling_pieces(pieces)
+
+    def exp(self) -> "ShardedNormalizedMatrix":
+        return self.apply(np.exp)
+
+    def log(self) -> "ShardedNormalizedMatrix":
+        return self.apply(np.log)
+
+    def sqrt(self) -> "ShardedNormalizedMatrix":
+        return self.apply(np.sqrt)
+
+    def _elementwise_matrix_op(self, other: MatrixLike, op: str, reverse: bool) -> MatrixLike:
+        """Non-factorizable element-wise matrix arithmetic (Section 3.3.7).
+
+        Each shard materializes its slice and applies the operator; the
+        transposed case reuses the untransposed path on ``other^T`` via
+        ``(T^T op X) = (T op X^T)^T`` and returns a plain matrix.
+        """
+        other = ensure_2d(other)
+        if tuple(other.shape) != self.shape:
+            raise ShapeError(
+                f"element-wise op: shape mismatch {self.shape} vs {tuple(other.shape)}"
+            )
+        if self.transposed:
+            untransposed = self._plain()._elementwise_matrix_op(other.T, op, reverse)
+            return to_dense(untransposed.to_matrix()).T
+        slices = _split_rows(other, self.bounds)
+        parts = self.executor.map(
+            _shard_elementwise_matrix,
+            [(p, o, op, reverse) for p, o in zip(self.pieces, slices)],
+        )
+        return self._sharded_result(parts)
+
+    def _plain(self) -> "ShardedNormalizedMatrix":
+        """This matrix with the transpose flag cleared (shares the pieces)."""
+        if not self.transposed:
+            return self
+        return ShardedNormalizedMatrix(self.pieces, transposed=False, executor=self.executor)
+
+    def _binary(self, op: str, other, reverse: bool):
+        if _is_scalar(other):
+            return self._scalar_result(op, other, reverse=reverse)
+        if is_matrix_like(other):
+            return self._elementwise_matrix_op(other, op, reverse=reverse)
+        return NotImplemented
+
+    def __mul__(self, other):
+        return self._binary("*", other, reverse=False)
+
+    def __rmul__(self, other):
+        return self._binary("*", other, reverse=True)
+
+    def __add__(self, other):
+        return self._binary("+", other, reverse=False)
+
+    def __radd__(self, other):
+        return self._binary("+", other, reverse=True)
+
+    def __sub__(self, other):
+        return self._binary("-", other, reverse=False)
+
+    def __rsub__(self, other):
+        return self._binary("-", other, reverse=True)
+
+    def __truediv__(self, other):
+        return self._binary("/", other, reverse=False)
+
+    def __rtruediv__(self, other):
+        return self._binary("/", other, reverse=True)
+
+    def __pow__(self, exponent):
+        if _is_scalar(exponent):
+            return self._scalar_result("**", exponent, reverse=False)
+        return NotImplemented
+
+    def __neg__(self):
+        return self._scalar_result("*", -1.0, reverse=False)
+
+    # -- aggregations ----------------------------------------------------------
+
+    def rowsums(self) -> np.ndarray:
+        if self.transposed:
+            return self._colsums_plain().T
+        return self._rowsums_plain()
+
+    def colsums(self) -> np.ndarray:
+        if self.transposed:
+            return self._rowsums_plain().T
+        return self._colsums_plain()
+
+    def _rowsums_plain(self) -> np.ndarray:
+        return np.vstack(self.executor.map(_shard_rowsums, self.pieces))
+
+    def _colsums_plain(self) -> np.ndarray:
+        return _sum_partials(self.executor.map(_shard_colsums, self.pieces))
+
+    def total_sum(self) -> float:
+        return float(sum(self.executor.map(_shard_total_sum, self.pieces)))
+
+    def sum(self, axis: Optional[int] = None):
+        if axis is None:
+            return self.total_sum()
+        if axis == 0:
+            return self.colsums()
+        if axis == 1:
+            return self.rowsums()
+        raise ValueError("axis must be None, 0 or 1")
+
+    # -- multiplication ---------------------------------------------------------
+
+    def __matmul__(self, other):
+        if isinstance(other, ShardedNormalizedMatrix):
+            other = other.materialize()
+        if not is_matrix_like(other) and not hasattr(other, "shape"):
+            return NotImplemented
+        other = ensure_2d(other) if is_matrix_like(other) else other
+        if self.transposed:
+            # T^T X = sum_i T_i^T X_i  (X row-aligned with the shards).
+            if other.shape[0] != self.logical_rows:
+                raise ShapeError(
+                    f"matmul: inner dimensions do not agree {self.shape} @ {tuple(other.shape)}"
+                )
+            slices = _split_rows(other, self.bounds)
+            parts = self.executor.map(
+                _shard_transpose_matmul, list(zip(self.pieces, slices))
+            )
+            return _sum_partials(parts)
+        if other.shape[0] != self.logical_cols:
+            raise ShapeError(
+                f"matmul: inner dimensions do not agree {self.shape} @ {tuple(other.shape)}"
+            )
+        parts = self.executor.map(_shard_matmul, [(p, other) for p in self.pieces])
+        return self._sharded_result(parts)
+
+    def __rmatmul__(self, other):
+        if not is_matrix_like(other):
+            return NotImplemented
+        other = ensure_2d(other)
+        if self.transposed:
+            # X T^T = (T X^T)^T: a sharded LMM whose parts concatenate.
+            if other.shape[1] != self.logical_cols:
+                raise ShapeError(
+                    f"matmul: inner dimensions do not agree {tuple(other.shape)} @ {self.shape}"
+                )
+            other_t = to_dense(other).T
+            parts = self.executor.map(_shard_matmul, [(p, other_t) for p in self.pieces])
+            return to_dense(la_ops.vstack([to_dense(p) for p in parts])).T
+        if other.shape[1] != self.logical_rows:
+            raise ShapeError(
+                f"matmul: inner dimensions do not agree {tuple(other.shape)} @ {self.shape}"
+            )
+        slices = _split_cols(other, self.bounds)
+        parts = self.executor.map(_shard_rmatmul, list(zip(slices, self.pieces)))
+        return _sum_partials(parts)
+
+    def dot(self, other) -> MatrixLike:
+        return self.__matmul__(other)
+
+    # -- cross-product and inversion ---------------------------------------------
+
+    def crossprod(self, method: Optional[str] = None) -> np.ndarray:
+        """``crossprod(T) = T^T T`` as a sum of factorized per-shard Gram matrices.
+
+        With the transpose flag set the result is ``T T^T``, assembled as a
+        block grid of pair products ``T_i T_j^T`` (each pair product runs
+        through the normalized double-multiply rewrites where available).
+        """
+        if self.transposed:
+            pairs = [(a, b) for a in self.pieces for b in self.pieces]
+            blocks = self.executor.map(_shard_pair_outer, pairs)
+            k = self.num_shards
+            grid = [blocks[i * k:(i + 1) * k] for i in range(k)]
+            return la_ops.block_grid(grid)
+        parts = self.executor.map(_shard_crossprod, [(p, method) for p in self.pieces])
+        return _sum_partials([to_dense(p) for p in parts])
+
+    def gram(self) -> np.ndarray:
+        return self.crossprod()
+
+    def ginv(self) -> np.ndarray:
+        """Pseudo-inverse via the exact identity ``T^+ = (T^T T)^+ T^T``.
+
+        ``(T^T T)^+`` is a small ``d x d`` pseudo-inverse of the (parallel,
+        factorized) cross-product, and the trailing product is a sharded LMM:
+        ``(T^T T)^+ T^T = (T (T^T T)^+)^T`` because the Gram pseudo-inverse is
+        symmetric.  ``ginv(T^T) = ginv(T)^T`` handles the transposed flag.
+        """
+        plain = self._plain()
+        gram_inv = la_ops.ginv(plain.crossprod())
+        plain_ginv = to_dense((plain @ gram_inv).to_matrix()).T
+        return plain_ginv if not self.transposed else plain_ginv.T
+
+    def solve(self, rhs: MatrixLike, ridge: float = 0.0) -> np.ndarray:
+        """Least-squares solve via the factorized, sharded normal equations."""
+        rhs = ensure_2d(rhs)
+        if rhs.shape[0] != self.shape[0]:
+            raise ShapeError(
+                f"solve: right-hand side has {rhs.shape[0]} rows but the matrix has {self.shape[0]}"
+            )
+        gram = self.crossprod()
+        # With the transpose flag set, self.T @ rhs is a sharded LMM whose
+        # result stays sharded; solve_regularized needs a plain matrix.
+        projected = generic.to_dense_result(self.T @ rhs)
+        return la_ops.solve_regularized(gram, projected, ridge=ridge)
+
+    # -- lazy evaluation -----------------------------------------------------------
+
+    def lazy(self, cache=None):
+        """Lazy expression leaf over this sharded matrix.
+
+        The lazy evaluator executes operator nodes through the operand's own
+        overloads, so graphs over a sharded leaf run shard-parallel, and the
+        attached :class:`~repro.core.lazy.cache.FactorizedCache` memoizes
+        join-invariant nodes exactly as for the eager normalized matrices --
+        memoization and parallel execution compose.
+        """
+        from repro.core.lazy import lazy_view
+
+        return lazy_view(self, cache=cache)
+
+    # -- equality helpers -----------------------------------------------------------
+
+    def equals_materialized(self, other: MatrixLike, rtol: float = 1e-9, atol: float = 1e-9
+                            ) -> bool:
+        mine = self.to_dense()
+        theirs = to_dense(ensure_2d(other))
+        if mine.shape != theirs.shape:
+            return False
+        return bool(np.allclose(mine, theirs, rtol=rtol, atol=atol))
+
+
+def _slice_piece(plain, start: int, stop: int):
+    """Row slice ``[start, stop)`` of an untransposed normalized matrix."""
+    from repro.core.mn_matrix import MNNormalizedMatrix
+    from repro.core.normalized_matrix import NormalizedMatrix
+
+    if isinstance(plain, NormalizedMatrix):
+        entity = plain.entity[start:stop, :] if plain.entity is not None else None
+        indicators = [k[start:stop, :] for k in plain.indicators]
+        return NormalizedMatrix(entity, indicators, plain.attributes, transposed=False,
+                                validate=False, crossprod_method=plain.crossprod_method)
+    if isinstance(plain, MNNormalizedMatrix):
+        indicators = [i[start:stop, :] for i in plain.indicators]
+        return MNNormalizedMatrix(indicators, plain.attributes, transposed=False,
+                                  validate=False, crossprod_method=plain.crossprod_method)
+    raise TypeError(f"cannot shard operands of type {type(plain).__name__}")

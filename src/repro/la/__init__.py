@@ -45,8 +45,24 @@ from repro.la.ops import (
     row_min,
     indicator_from_labels,
 )
-from repro.la.backend import Backend, DenseBackend, SparseBackend, ChunkedBackend, get_backend
+from repro.la.backend import (
+    Backend,
+    DenseBackend,
+    SparseBackend,
+    ChunkedBackend,
+    ShardedBackend,
+    get_backend,
+)
 from repro.la.chunked import ChunkedMatrix, row_apply
+from repro.la.parallel import (
+    ExecutorPool,
+    ParallelExecutor,
+    ProcessPool,
+    SerialPool,
+    ThreadPool,
+    WorkerPool,
+    resolve_pool,
+)
 
 __all__ = [
     "MatrixLike",
@@ -77,7 +93,15 @@ __all__ = [
     "DenseBackend",
     "SparseBackend",
     "ChunkedBackend",
+    "ShardedBackend",
     "get_backend",
     "ChunkedMatrix",
     "row_apply",
+    "WorkerPool",
+    "SerialPool",
+    "ThreadPool",
+    "ProcessPool",
+    "ExecutorPool",
+    "ParallelExecutor",
+    "resolve_pool",
 ]

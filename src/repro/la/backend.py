@@ -111,18 +111,66 @@ class ChunkedBackend(Backend):
         return f"chunked backend (chunk_rows={self.chunk_rows})"
 
 
+class ShardedBackend(Backend):
+    """Store matrices row-sharded with a worker pool (parallel execution).
+
+    The parallel counterpart of :class:`ChunkedBackend`: matrices become
+    :class:`~repro.core.shard.ShardedMatrix` instances whose Table-1
+    operators fan out over the configured pool (see
+    :mod:`repro.la.parallel`).
+
+    Parameters
+    ----------
+    n_shards:
+        Number of balanced row shards per matrix (clamped to the row count).
+    pool:
+        Pool specification passed through to
+        :func:`repro.la.parallel.resolve_pool`; ``None`` selects a thread
+        pool sized to the shard count.
+    """
+
+    name = "sharded"
+
+    def __init__(self, n_shards: int = 4, pool=None):
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.n_shards = int(n_shards)
+        self.pool = pool
+
+    def from_dense(self, array: np.ndarray):
+        from repro.core.shard import ShardedMatrix
+
+        return ShardedMatrix.from_matrix(
+            np.asarray(array, dtype=np.float64), self.n_shards, pool=self.pool
+        )
+
+    def from_sparse(self, matrix: sp.spmatrix):
+        from repro.core.shard import ShardedMatrix
+
+        return ShardedMatrix.from_matrix(
+            to_sparse(matrix, "csr").astype(np.float64), self.n_shards, pool=self.pool
+        )
+
+    def describe(self) -> str:
+        return f"sharded backend (n_shards={self.n_shards})"
+
+
 _REGISTRY = {
     "dense": DenseBackend,
     "sparse": SparseBackend,
     "chunked": ChunkedBackend,
+    "sharded": ShardedBackend,
 }
 
 
-def get_backend(name: str, chunk_rows: Optional[int] = None) -> Backend:
-    """Look up a backend by name (``dense``, ``sparse`` or ``chunked``)."""
+def get_backend(name: str, chunk_rows: Optional[int] = None,
+                n_shards: Optional[int] = None) -> Backend:
+    """Look up a backend by name (``dense``, ``sparse``, ``chunked`` or ``sharded``)."""
     key = name.lower()
     if key not in _REGISTRY:
         raise NotSupportedError(f"unknown backend {name!r}; expected one of {sorted(_REGISTRY)}")
     if key == "chunked":
         return ChunkedBackend(chunk_rows or 4096)
+    if key == "sharded":
+        return ShardedBackend(n_shards or 4)
     return _REGISTRY[key]()

@@ -32,13 +32,30 @@ from repro.la.types import MatrixLike, ensure_2d, is_sparse, to_dense
 from repro.la import ops as la_ops
 
 
-def row_apply(matrix: "ChunkedMatrix", fn: Callable[[MatrixLike], MatrixLike]) -> List[MatrixLike]:
-    """Apply *fn* to every row chunk of *matrix* and collect the results.
+def row_apply(matrix: "ChunkedMatrix", fn: Callable[[MatrixLike], MatrixLike],
+              pool=None) -> List[MatrixLike]:
+    """Apply *fn* to every row chunk of *matrix* and collect the results in order.
 
     This is the Python analogue of ORE's ``ore.rowapply``: the function sees
-    one in-memory chunk at a time and never the whole matrix.
+    one in-memory chunk at a time and never the whole matrix.  By default the
+    chunks are streamed serially, exactly like ORE; passing *pool* (a spec
+    accepted by :func:`repro.la.parallel.resolve_pool` -- ``"thread"``, a
+    worker count, an executor, ...) maps the chunks through a worker pool
+    instead, which is the chunk-level counterpart of the sharded execution in
+    :mod:`repro.core.shard`.
     """
-    return [fn(chunk) for chunk in matrix.chunks]
+    if pool is None:
+        return [fn(chunk) for chunk in matrix.chunks]
+    from repro.la.parallel import resolve_pool
+
+    worker_pool = resolve_pool(pool, default_max_workers=matrix.num_chunks)
+    try:
+        return worker_pool.map(fn, matrix.chunks)
+    finally:
+        # Only tear down pools this call created from a spec; caller-owned
+        # WorkerPool instances (resolve_pool returns them as-is) stay alive.
+        if worker_pool is not pool:
+            worker_pool.close()
 
 
 class TransposedChunkedView:
@@ -247,6 +264,12 @@ class ChunkedMatrix:
 
     def __pow__(self, scalar: float) -> "ChunkedMatrix":
         return self.scalar_op("**", scalar)
+
+    # -- chunk mapping -------------------------------------------------------
+
+    def row_apply(self, fn: Callable[[MatrixLike], MatrixLike], pool=None) -> List[MatrixLike]:
+        """Bound form of :func:`row_apply`; *pool* enables the parallel map path."""
+        return row_apply(self, fn, pool=pool)
 
     # -- iteration -----------------------------------------------------------
 

@@ -43,13 +43,23 @@ class IterativeEstimator(abc.ABC):
         :class:`~repro.core.lazy.cache.FactorizedCache` on every later
         iteration.  After a lazy ``fit`` the cache is exposed as
         ``lazy_cache_`` for inspection.
+    n_jobs:
+        Number of row shards the data matrix is split into for parallel
+        execution of the per-iteration LA passes (``-1`` uses the CPU
+        count).  With ``n_jobs != 1`` the fit wraps the data in the sharded
+        backend of :mod:`repro.core.shard` -- normalized matrices via their
+        ``.shard()`` method (keeping every shard factorized), plain
+        dense/sparse matrices via :class:`~repro.core.shard.ShardedMatrix` --
+        and the same estimator code runs unchanged over the shards.  Composes
+        with ``engine="lazy"``: the graphs are built over the sharded operand
+        and memoized results are computed shard-parallel once.
     """
 
     ENGINES = ("eager", "lazy")
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-3,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 engine: str = "eager"):
+                 engine: str = "eager", n_jobs: int = 1):
         if max_iter <= 0:
             raise ValueError("max_iter must be positive")
         if step_size <= 0:
@@ -61,12 +71,17 @@ class IterativeEstimator(abc.ABC):
         self.seed = seed
         self.track_history = bool(track_history)
         self.engine = engine
+        self.n_jobs = validate_n_jobs(n_jobs)
         self.history_: List[float] = []
         #: FactorizedCache used by the last lazy fit (None for eager fits).
         self.lazy_cache_ = None
 
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(self.seed)
+
+    def _dispatch_data(self, data):
+        """Shard the concrete operand behind *data* according to ``n_jobs``."""
+        return shard_for_jobs(data, self.n_jobs)
 
     def _lazy_data(self, data):
         """Lazy view of *data* for the ``engine="lazy"`` paths.
@@ -83,6 +98,77 @@ class IterativeEstimator(abc.ABC):
     @abc.abstractmethod
     def fit(self, data, *args, **kwargs):
         """Train the estimator; must be implemented by subclasses."""
+
+
+def validate_n_jobs(n_jobs) -> int:
+    """Validate an ``n_jobs`` argument: a positive shard count or ``-1``."""
+    if not isinstance(n_jobs, (int, np.integer)) or isinstance(n_jobs, bool):
+        raise ValueError(f"n_jobs must be an int, got {type(n_jobs).__name__}")
+    n_jobs = int(n_jobs)
+    if n_jobs == 0 or n_jobs < -1:
+        raise ValueError("n_jobs must be a positive shard count or -1 (all CPUs)")
+    return n_jobs
+
+
+def effective_n_jobs(n_jobs: int) -> int:
+    """Resolve ``-1`` to the machine's CPU count."""
+    if n_jobs == -1:
+        from repro.la.parallel import default_workers
+
+        return default_workers()
+    return n_jobs
+
+
+def shard_for_jobs(data, n_jobs: int):
+    """Wrap *data* in the sharded parallel backend when ``n_jobs != 1``.
+
+    Normalized matrices shard through their own ``.shard()`` method so every
+    shard stays factorized; plain dense/sparse matrices become a
+    :class:`~repro.core.shard.ShardedMatrix`; already-sharded and chunked
+    operands (and lazy views over them) pass through unchanged.
+
+    Two details keep the lazy engine's warm-cache contract intact under
+    sharding.  The shard view is memoized per ``(object, shard count)`` on
+    the source matrix (base matrices are immutable by the library-wide
+    convention), so repeated fits reuse one wrapper -- and therefore one
+    :class:`~repro.core.lazy.cache.FactorizedCache`.  And when *data* is a
+    lazy view carrying an explicit cache, that cache is re-attached to the
+    sharded operand instead of being dropped with the unwrapped view.
+    """
+    from repro.core.lazy.expr import LeafExpr
+
+    jobs = effective_n_jobs(validate_n_jobs(n_jobs))
+    if jobs == 1:
+        return data
+    cache = data.cache if isinstance(data, LeafExpr) else None
+    concrete = unwrap_lazy(data)
+    if hasattr(concrete, "shard"):
+        sharded = _memoized_shard_view(concrete, jobs)
+    else:
+        from repro.la.types import is_matrix_like
+
+        if not is_matrix_like(concrete):
+            return data  # chunked / already-sharded operands pass through
+        from repro.core.shard import ShardedMatrix
+
+        sharded = ShardedMatrix.from_matrix(concrete, jobs)
+    if cache is not None:
+        return sharded.lazy(cache=cache)
+    return sharded
+
+
+def _memoized_shard_view(matrix, jobs: int):
+    """``matrix.shard(jobs)``, cached on the matrix so repeated fits share it."""
+    views = getattr(matrix, "_shard_views", None)
+    if views is None:
+        views = {}
+        try:
+            matrix._shard_views = views
+        except AttributeError:  # pragma: no cover - exotic operand types
+            return matrix.shard(jobs)
+    if jobs not in views:
+        views[jobs] = matrix.shard(jobs)
+    return views[jobs]
 
 
 def unwrap_lazy(data):

@@ -37,9 +37,9 @@ class GNMF(IterativeEstimator):
 
     def __init__(self, rank: int = 5, max_iter: int = 20, seed: Optional[int] = 0,
                  track_history: bool = False, epsilon: float = 1e-12,
-                 engine: str = "eager"):
+                 engine: str = "eager", n_jobs: int = 1):
         super().__init__(max_iter=max_iter, step_size=1.0, seed=seed,
-                         track_history=track_history, engine=engine)
+                         track_history=track_history, engine=engine, n_jobs=n_jobs)
         if rank <= 0:
             raise ValueError("rank must be positive")
         self.rank = int(rank)
@@ -56,6 +56,7 @@ class GNMF(IterativeEstimator):
     def fit(self, data, initial_w: Optional[np.ndarray] = None,
             initial_h: Optional[np.ndarray] = None) -> "GNMF":
         """Run the multiplicative updates; *data* must be element-wise non-negative."""
+        data = self._dispatch_data(data)
         n, d = data.shape
         w, h = self._initial_factors(n, d)
         if initial_w is not None:

@@ -44,9 +44,9 @@ class KMeans(IterativeEstimator):
 
     def __init__(self, num_clusters: int = 10, max_iter: int = 20,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 engine: str = "eager"):
+                 engine: str = "eager", n_jobs: int = 1):
         super().__init__(max_iter=max_iter, step_size=1.0, seed=seed,
-                         track_history=track_history, engine=engine)
+                         track_history=track_history, engine=engine, n_jobs=n_jobs)
         if num_clusters <= 0:
             raise ValueError("num_clusters must be positive")
         self.num_clusters = int(num_clusters)
@@ -61,6 +61,7 @@ class KMeans(IterativeEstimator):
         return rng.standard_normal((d, self.num_clusters))
 
     def fit(self, data, initial_centroids: Optional[np.ndarray] = None) -> "KMeans":
+        data = self._dispatch_data(data)
         n = data.shape[0]
         k = self.num_clusters
         centroids = (np.asarray(initial_centroids, dtype=np.float64)

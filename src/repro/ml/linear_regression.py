@@ -25,19 +25,27 @@ import numpy as np
 
 from repro.la import generic
 from repro.la.generic import to_dense_result
-from repro.ml.base import IterativeEstimator, as_column, check_rows_match, unwrap_lazy
+from repro.ml.base import (
+    IterativeEstimator,
+    as_column,
+    check_rows_match,
+    shard_for_jobs,
+    unwrap_lazy,
+    validate_n_jobs,
+)
 
 
 class LinearRegressionNE:
     """Ordinary least squares via the normal equations and the pseudo-inverse."""
 
-    def __init__(self, crossprod_method: Optional[str] = None):
+    def __init__(self, crossprod_method: Optional[str] = None, n_jobs: int = 1):
         self.crossprod_method = crossprod_method
+        self.n_jobs = validate_n_jobs(n_jobs)
         self.coef_: Optional[np.ndarray] = None
 
     def fit(self, data, target) -> "LinearRegressionNE":
         """Solve ``w = ginv(T^T T) (T^T Y)``."""
-        data = unwrap_lazy(data)
+        data = shard_for_jobs(unwrap_lazy(data), self.n_jobs)
         y = as_column(target)
         check_rows_match(data, y, "LinearRegressionNE.fit")
         if self.crossprod_method is not None and hasattr(data, "crossprod"):
@@ -67,14 +75,15 @@ class LinearRegressionGD(IterativeEstimator):
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-6,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 engine: str = "eager"):
+                 engine: str = "eager", n_jobs: int = 1):
         super().__init__(max_iter=max_iter, step_size=step_size, seed=seed,
-                         track_history=track_history, engine=engine)
+                         track_history=track_history, engine=engine, n_jobs=n_jobs)
         self.coef_: Optional[np.ndarray] = None
 
     def fit(self, data, target, initial_weights: Optional[np.ndarray] = None
             ) -> "LinearRegressionGD":
         y = as_column(target)
+        data = self._dispatch_data(data)
         check_rows_match(data, y, "LinearRegressionGD.fit")
         d = data.shape[1]
         w = as_column(initial_weights).copy() if initial_weights is not None else np.zeros((d, 1))
@@ -127,9 +136,9 @@ class LinearRegressionCofactor(IterativeEstimator):
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-6,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 adagrad: bool = True, epsilon: float = 1e-8):
+                 adagrad: bool = True, epsilon: float = 1e-8, n_jobs: int = 1):
         super().__init__(max_iter=max_iter, step_size=step_size, seed=seed,
-                         track_history=track_history)
+                         track_history=track_history, n_jobs=n_jobs)
         self.adagrad = bool(adagrad)
         self.epsilon = float(epsilon)
         self.coef_: Optional[np.ndarray] = None
@@ -137,7 +146,7 @@ class LinearRegressionCofactor(IterativeEstimator):
 
     def fit(self, data, target, initial_weights: Optional[np.ndarray] = None
             ) -> "LinearRegressionCofactor":
-        data = unwrap_lazy(data)
+        data = self._dispatch_data(unwrap_lazy(data))
         y = as_column(target)
         check_rows_match(data, y, "LinearRegressionCofactor.fit")
         d = data.shape[1]

@@ -44,9 +44,9 @@ class LogisticRegressionGD(IterativeEstimator):
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-4,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 update: str = "paper", engine: str = "eager"):
+                 update: str = "paper", engine: str = "eager", n_jobs: int = 1):
         super().__init__(max_iter=max_iter, step_size=step_size, seed=seed,
-                         track_history=track_history, engine=engine)
+                         track_history=track_history, engine=engine, n_jobs=n_jobs)
         if update not in ("paper", "exact"):
             raise ValueError("update must be 'paper' or 'exact'")
         self.update = update
@@ -60,6 +60,7 @@ class LogisticRegressionGD(IterativeEstimator):
         :func:`repro.ml.preprocessing.binarize_labels` to convert 0/1 labels).
         """
         y = as_column(target)
+        data = self._dispatch_data(data)
         check_rows_match(data, y, "LogisticRegressionGD.fit")
         d = data.shape[1]
         if initial_weights is not None:

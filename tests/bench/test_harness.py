@@ -18,7 +18,22 @@ class TestMeasure:
 
     def test_empty_timing_is_nan(self):
         import math
-        assert math.isnan(TimingResult(label="x").best)
+        empty = TimingResult(label="x")
+        assert math.isnan(empty.best)
+        assert math.isnan(empty.mean)
+        assert empty.valid_seconds == []
+
+    def test_nan_entries_do_not_poison_summaries(self):
+        result = TimingResult(label="x", seconds=[float("nan"), 0.2, 0.1])
+        assert result.valid_seconds == [0.2, 0.1]
+        assert result.best == pytest.approx(0.1)
+        assert result.mean == pytest.approx(0.15)
+
+    def test_all_nan_timings_report_nan(self):
+        import math
+        result = TimingResult(label="x", seconds=[float("nan"), float("nan")])
+        assert math.isnan(result.best)
+        assert math.isnan(result.mean)
 
     def test_invalid_repeats(self):
         with pytest.raises(ValueError):
@@ -39,6 +54,13 @@ class TestCompare:
     def test_zero_factorized_time(self):
         result = SpeedupResult(parameters={}, materialized_seconds=1.0, factorized_seconds=0.0)
         assert result.speedup == float("inf")
+
+    def test_nan_timing_yields_nan_speedup(self):
+        import math
+        nan = float("nan")
+        for m, f in ((nan, 1.0), (1.0, nan), (nan, nan), (nan, 0.0)):
+            result = SpeedupResult(parameters={}, materialized_seconds=m, factorized_seconds=f)
+            assert math.isnan(result.speedup)
 
     def test_compare_runs_both_sides(self):
         counter = {"m": 0, "f": 0}

@@ -1,0 +1,254 @@
+"""Property-based differential testing of every Table-1 operator.
+
+The test generates random normalized schemas from a seeded RNG -- dimensions,
+number of joins, PK-FK star vs. M:N join, dense vs. sparse base matrices,
+base-matrix sparsity -- and checks, for every backend view of the same
+logical matrix ``T``, that each Table-1 operator agrees with the plain-NumPy
+reference computed on the materialized ``T`` to within ``1e-8``:
+
+* ``normalized-dense`` / ``normalized-sparse`` -- the eager factorized
+  rewrites of :class:`NormalizedMatrix` / :class:`MNNormalizedMatrix`;
+* ``chunked``             -- the serial ORE-style :class:`ChunkedMatrix`;
+* ``sharded``             -- the parallel factorized
+  :class:`ShardedNormalizedMatrix` (random shard count, serial and thread
+  pools);
+* ``sharded-matrix``      -- the parallel plain :class:`ShardedMatrix`.
+
+Each backend sees ``CASES_PER_BACKEND`` generated cases (>= 200), split into
+batches so a failure pinpoints its seed range; the failing seed is embedded
+in the assertion message for replay.  Everything is deterministically seeded,
+so CI runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.mn_matrix import MNNormalizedMatrix
+from repro.core.normalized_matrix import NormalizedMatrix
+from repro.core.shard import ShardedMatrix
+from repro.la.chunked import ChunkedMatrix
+from repro.la.ops import indicator_from_labels
+
+ATOL = 1e-8
+RTOL = 1e-8
+
+BACKENDS = ("normalized-dense", "normalized-sparse", "chunked", "sharded", "sharded-matrix")
+BATCHES = 20
+CASES_PER_BATCH = 10
+CASES_PER_BACKEND = BATCHES * CASES_PER_BATCH  # 200 generated cases per backend
+
+#: Operators the chunked / plain-sharded backends do not implement (they hold
+#: the already-materialized matrix, so element-wise matrix arithmetic against
+#: a second full-size operand is the only hole; chunked also lacks it).
+_MATRIX_ELEMWISE = "elementwise-matrix"
+
+
+@dataclass
+class Case:
+    """One generated schema: the logical matrix under test and its reference."""
+
+    seed: int
+    description: str
+    dense: np.ndarray            # reference materialized T as plain ndarray
+    normalized: object           # NormalizedMatrix or MNNormalizedMatrix
+
+
+def _random_pk_fk(rng: np.random.Generator, seed: int, sparse_bases: bool) -> Case:
+    """A star-schema PK-FK case: 1-2 joins, optional entity features."""
+    num_joins = int(rng.integers(1, 3))
+    n_s = int(rng.integers(1, 41))
+    d_s = int(rng.integers(0, 5))
+    entity = None
+    if d_s > 0:
+        entity = rng.standard_normal((n_s, d_s))
+        if sparse_bases:
+            entity = sp.csr_matrix(np.where(rng.random((n_s, d_s)) < 0.5, entity, 0.0))
+    indicators, attributes = [], []
+    for _ in range(num_joins):
+        n_r = int(rng.integers(1, n_s + 1))
+        d_r = int(rng.integers(1, 6))
+        attribute = rng.standard_normal((n_r, d_r))
+        if sparse_bases:
+            attribute = sp.csr_matrix(np.where(rng.random((n_r, d_r)) < 0.6, attribute, 0.0))
+        # Every attribute row referenced at least once (the paper's standing
+        # assumption), remaining foreign keys uniform.
+        labels = np.concatenate([np.arange(n_r), rng.integers(0, n_r, size=n_s - n_r)])
+        rng.shuffle(labels)
+        indicators.append(indicator_from_labels(labels, num_columns=n_r))
+        attributes.append(attribute)
+    if entity is None and not indicators:
+        entity = rng.standard_normal((n_s, 2))
+    normalized = NormalizedMatrix(entity, indicators, attributes)
+    dense = np.asarray(normalized.to_dense())
+    return Case(seed, f"pkfk(joins={num_joins}, n_s={n_s}, sparse={sparse_bases})",
+                dense, normalized)
+
+
+def _random_mn(rng: np.random.Generator, seed: int, sparse_bases: bool) -> Case:
+    """A general M:N equi-join case with 2-3 component tables."""
+    num_components = int(rng.integers(2, 4))
+    n_out = int(rng.integers(2, 41))
+    indicators, attributes = [], []
+    for _ in range(num_components):
+        n_rows = int(rng.integers(1, n_out + 1))
+        width = int(rng.integers(1, 5))
+        component = rng.standard_normal((n_rows, width))
+        if sparse_bases:
+            component = sp.csr_matrix(np.where(rng.random((n_rows, width)) < 0.6, component, 0.0))
+        labels = np.concatenate([np.arange(n_rows), rng.integers(0, n_rows, size=n_out - n_rows)])
+        rng.shuffle(labels)
+        indicators.append(indicator_from_labels(labels, num_columns=n_rows))
+        attributes.append(component)
+    normalized = MNNormalizedMatrix(indicators, attributes)
+    dense = np.asarray(normalized.to_dense())
+    return Case(seed, f"mn(components={num_components}, n_out={n_out}, sparse={sparse_bases})",
+                dense, normalized)
+
+
+def generate_case(seed: int, force_density: str = "random") -> Case:
+    """Deterministically generate one random schema from *seed*."""
+    rng = np.random.default_rng(seed)
+    if force_density == "dense":
+        sparse_bases = False
+    elif force_density == "sparse":
+        sparse_bases = True
+    else:
+        sparse_bases = bool(rng.random() < 0.5)
+    if rng.random() < 0.35:
+        return _random_mn(rng, seed, sparse_bases)
+    return _random_pk_fk(rng, seed, sparse_bases)
+
+
+def build_view(backend: str, case: Case, rng: np.random.Generator):
+    """Build the backend's view of the case's logical matrix."""
+    if backend in ("normalized-dense", "normalized-sparse"):
+        return case.normalized
+    if backend == "chunked":
+        chunk_rows = int(rng.integers(1, case.dense.shape[0] + 1))
+        return ChunkedMatrix.from_matrix(case.dense, chunk_rows)
+    if backend == "sharded":
+        n_shards = int(rng.integers(1, 7))
+        pool = "thread" if rng.random() < 0.3 else "serial"
+        return case.normalized.shard(n_shards, pool=pool)
+    if backend == "sharded-matrix":
+        n_shards = int(rng.integers(1, 7))
+        return ShardedMatrix.from_matrix(case.dense, n_shards, pool="serial")
+    raise AssertionError(f"unknown backend {backend!r}")
+
+
+def _as_dense(value) -> np.ndarray:
+    if hasattr(value, "to_dense"):
+        return np.asarray(value.to_dense())
+    if sp.issparse(value):
+        return np.asarray(value.todense())
+    return np.asarray(value)
+
+
+def operator_checks(view, dense: np.ndarray, rng: np.random.Generator,
+                    backend: str) -> List[Tuple[str, Callable[[], object], np.ndarray]]:
+    """(name, compute, expected) triples covering the Table-1 operator set."""
+    n, d = dense.shape
+    x = rng.standard_normal((d, int(rng.integers(1, 4))))
+    w = rng.standard_normal((int(rng.integers(1, 4)), n))
+    y = rng.standard_normal((n, int(rng.integers(1, 3))))
+    scalar = float(rng.uniform(0.5, 3.0))
+    checks = [
+        ("lmm", lambda: view @ x, dense @ x),
+        ("rmm", lambda: w @ view, w @ dense),
+        ("transposed-lmm", lambda: view.T @ y, dense.T @ y),
+        ("crossprod", lambda: view.crossprod(), dense.T @ dense),
+        ("rowsums", lambda: view.rowsums(), dense.sum(axis=1, keepdims=True)),
+        ("colsums", lambda: view.colsums(), dense.sum(axis=0, keepdims=True)),
+        ("total-sum", lambda: np.asarray(view.total_sum()), np.asarray(dense.sum())),
+        ("scalar-mul", lambda: (view * scalar) @ x, (dense * scalar) @ x),
+        ("scalar-radd", lambda: (scalar + view).rowsums(),
+         (scalar + dense).sum(axis=1, keepdims=True)),
+        ("scalar-rsub", lambda: (scalar - view).colsums(),
+         (scalar - dense).sum(axis=0, keepdims=True)),
+        ("scalar-div", lambda: (view / scalar).rowsums(),
+         (dense / scalar).sum(axis=1, keepdims=True)),
+        ("square", lambda: (view ** 2).colsums(), (dense ** 2).sum(axis=0, keepdims=True)),
+    ]
+    if hasattr(view, "__neg__"):  # ChunkedMatrix spells negation as * -1 only
+        checks.append(("negate", lambda: (-view).rowsums(), -dense.sum(axis=1, keepdims=True)))
+    if hasattr(view, "apply"):
+        checks.append(("apply-exp", lambda: view.apply(np.exp).colsums(),
+                       np.exp(dense).sum(axis=0, keepdims=True)))
+    elif hasattr(view, "elementwise"):
+        checks.append(("elementwise-exp", lambda: view.elementwise(np.exp).colsums(),
+                       np.exp(dense).sum(axis=0, keepdims=True)))
+    if backend != "chunked":
+        other = rng.standard_normal((n, d))
+        checks.append((_MATRIX_ELEMWISE, lambda: view * other, dense * other))
+    return checks
+
+
+def run_case(backend: str, seed: int) -> None:
+    force = {"normalized-dense": "dense", "normalized-sparse": "sparse"}.get(backend, "random")
+    case = generate_case(seed, force_density=force)
+    rng = np.random.default_rng(seed + 1_000_003)
+    view = build_view(backend, case, rng)
+    for name, compute, expected in operator_checks(view, case.dense, rng, backend):
+        actual = _as_dense(compute())
+        expected = np.asarray(expected)
+        assert actual.shape == expected.shape or actual.size == expected.size, (
+            f"[seed={seed}] {backend}/{name} on {case.description}: "
+            f"shape {actual.shape} != {expected.shape}"
+        )
+        assert np.allclose(actual.reshape(expected.shape), expected, atol=ATOL, rtol=RTOL), (
+            f"[seed={seed}] {backend}/{name} on {case.description}: max abs diff "
+            f"{np.abs(actual.reshape(expected.shape) - expected).max():.3e} exceeds {ATOL}"
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("batch", range(BATCHES))
+def test_differential(backend, batch):
+    """Factorized / chunked / sharded operators agree with the dense reference."""
+    for offset in range(CASES_PER_BATCH):
+        run_case(backend, seed=batch * CASES_PER_BATCH + offset)
+
+
+def test_case_count_meets_acceptance_floor():
+    """The suite exercises at least 200 generated cases per backend."""
+    assert CASES_PER_BACKEND >= 200
+
+
+def test_generator_is_deterministic():
+    """Same seed, same schema: required for CI reproducibility and replay."""
+    a, b = generate_case(17), generate_case(17)
+    assert a.description == b.description
+    assert np.array_equal(a.dense, b.dense)
+
+
+def test_generator_covers_both_join_families_and_densities():
+    descriptions = [generate_case(seed).description for seed in range(CASES_PER_BACKEND)]
+    assert any(d.startswith("pkfk") for d in descriptions)
+    assert any(d.startswith("mn") for d in descriptions)
+    assert any("sparse=True" in d for d in descriptions)
+    assert any("sparse=False" in d for d in descriptions)
+
+
+# -- optional hypothesis layer -------------------------------------------------
+# When hypothesis is installed (it is in the CI dev extras) an extra,
+# derandomized exploration widens the seed space beyond the fixed grid above.
+# The suite's 200-cases-per-backend guarantee never depends on it.
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1),
+           backend=st.sampled_from(BACKENDS))
+    @settings(max_examples=60, deadline=None, derandomize=True,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_differential_hypothesis(seed, backend):
+        """Hypothesis-driven sweep over the full 31-bit seed space (derandomized)."""
+        run_case(backend, seed)
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
