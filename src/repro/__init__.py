@@ -22,6 +22,9 @@ from repro.core import (
     FactorizedCache,
     LazyExpr,
     as_lazy,
+    Plan,
+    Planner,
+    WorkloadDescriptor,
 )
 from repro.core.decision import morpheus_mn
 from repro.ml import (
@@ -35,7 +38,7 @@ from repro.ml import (
 from repro.relational import Table, read_csv
 from repro.la import ChunkedMatrix
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "NormalizedMatrix",
@@ -48,6 +51,9 @@ __all__ = [
     "FactorizedCache",
     "LazyExpr",
     "as_lazy",
+    "Plan",
+    "Planner",
+    "WorkloadDescriptor",
     "LogisticRegressionGD",
     "LinearRegressionNE",
     "LinearRegressionGD",

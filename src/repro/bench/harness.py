@@ -68,6 +68,38 @@ class SpeedupResult:
         return self.materialized_seconds / self.factorized_seconds
 
 
+@dataclass
+class PlanEvaluation:
+    """How the planner's pick compares with the best hand-picked configuration.
+
+    Used by the auto-planner benchmark: ``auto_seconds`` is the measured
+    runtime of the configuration ``engine="auto"`` selected, ``best_seconds``
+    the fastest measured hand-picked configuration (``best_label``).  Like
+    :class:`SpeedupResult`, a missing measurement (NaN) never masquerades as
+    a real ratio -- ``slowdown`` propagates NaN and ``within`` is then False.
+    """
+
+    parameters: Dict[str, float]
+    auto_label: str
+    auto_seconds: float
+    best_label: str
+    best_seconds: float
+
+    @property
+    def slowdown(self) -> float:
+        """Auto-over-best ratio (1.0 = the planner picked the winner)."""
+        if math.isnan(self.auto_seconds) or math.isnan(self.best_seconds):
+            return float("nan")
+        if self.best_seconds <= 0:
+            return float("inf") if self.auto_seconds > 0 else 1.0
+        return self.auto_seconds / self.best_seconds
+
+    def within(self, factor: float) -> bool:
+        """True when the auto pick is at most *factor* slower than the best."""
+        ratio = self.slowdown
+        return (not math.isnan(ratio)) and ratio <= factor
+
+
 def measure(fn: Callable[[], object], label: str = "", repeats: int = 3,
             warmup: int = 1) -> TimingResult:
     """Time *fn* with *warmup* discarded runs followed by *repeats* measured runs."""

@@ -15,7 +15,12 @@ This package implements the paper's primary contribution:
 * :mod:`repro.core.cost` -- the arithmetic-operation cost models of Table 3 /
   Table 11.
 * :mod:`repro.core.decision` -- the heuristic decision rule of Section 3.7 /
-  5.1 and the :func:`morpheus` factory that applies it.
+  5.1 (one pluggable strategy beside the cost-based one) and the
+  :func:`morpheus` factory that applies it.
+* :mod:`repro.core.planner` -- the cost-based adaptive execution planner
+  behind ``engine="auto"`` and ``NormalizedMatrix.plan()``: machine
+  calibration + workload descriptors + Table-3 arithmetic, scored into
+  explainable :class:`~repro.core.planner.plan.Plan` objects.
 * :mod:`repro.core.lazy` -- deferred-evaluation expression graphs over
   normalized matrices with cross-iteration memoization of join-invariant
   subexpressions (``NormalizedMatrix.lazy()``, :class:`FactorizedCache`).
@@ -40,11 +45,33 @@ from repro.core.cost import (
     asymptotic_speedup,
     CostModel,
 )
-from repro.core.decision import DecisionRule, should_factorize, morpheus
+from repro.core.decision import (
+    CostBasedStrategy,
+    DecisionRule,
+    ExecutionStrategy,
+    ThresholdStrategy,
+    get_strategy,
+    morpheus,
+    should_factorize,
+)
 from repro.core.lazy import FactorizedCache, LazyExpr, as_lazy, constant, evaluate
+from repro.core.planner import (
+    CalibrationProfile,
+    Plan,
+    Planner,
+    WorkloadDescriptor,
+)
 from repro.core.shard import ShardedMatrix, ShardedNormalizedMatrix, shard_bounds
 
 __all__ = [
+    "CalibrationProfile",
+    "CostBasedStrategy",
+    "ExecutionStrategy",
+    "Plan",
+    "Planner",
+    "ThresholdStrategy",
+    "WorkloadDescriptor",
+    "get_strategy",
     "ShardedMatrix",
     "ShardedNormalizedMatrix",
     "shard_bounds",

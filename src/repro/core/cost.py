@@ -180,6 +180,40 @@ class CostModel:
             factorized += 0.5 * d_r * d_r * n_r + self.d_s * d_r * n_r
         return OperatorCost(Operator.CROSSPROD, standard, factorized)
 
+    def pseudoinverse(self) -> OperatorCost:
+        """Table 11 pseudo-inverse costs, generalized additively to star schemas.
+
+        Both sides reduce ``ginv`` to a cross-product plus a (transposed)
+        LMM/RMM pass, so the multi-join generalization reuses the additive
+        :meth:`scalar` base term exactly like the other operators.
+        """
+        n_s, d = self.n_s, self.total_features
+        base = self.scalar().factorized
+        if n_s > d:
+            standard = 7 * n_s * d * d + 20 * d ** 3
+            factorized = 27 * d ** 3 + self.crossprod().factorized + d * base
+        else:
+            standard = 7 * n_s * n_s * d + 20 * n_s ** 3
+            factorized = 27 * n_s ** 3 + 0.5 * n_s * n_s * self.d_s + n_s * base
+            for n_r, d_r in self.attribute_dims:
+                factorized += 0.5 * n_r * n_r * d_r
+        return OperatorCost(Operator.PSEUDOINVERSE, standard, factorized)
+
+    def cost(self, operator: Operator, x_cols: int = 1) -> OperatorCost:
+        """Dispatch to the per-operator model (the planner's entry point)."""
+        if operator in (Operator.SCALAR, Operator.AGGREGATION):
+            base = self.scalar()
+            return OperatorCost(operator, base.standard, base.factorized)
+        if operator is Operator.LMM:
+            return self.lmm(x_cols)
+        if operator is Operator.RMM:
+            return self.rmm(x_cols)
+        if operator is Operator.CROSSPROD:
+            return self.crossprod()
+        if operator is Operator.PSEUDOINVERSE:
+            return self.pseudoinverse()
+        raise ValueError(f"no cost model for operator {operator}")
+
     def summary(self) -> Dict[str, float]:
         """Predicted speed-ups for each modelled operator (used in reports)."""
         return {

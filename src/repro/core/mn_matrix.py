@@ -167,6 +167,15 @@ class MNNormalizedMatrix:
 
         return lazy_view(self, cache=cache)
 
+    # -- cost-based planning ---------------------------------------------------------
+
+    def plan(self, workload=None, planner=None):
+        """Score candidate execution strategies; see :meth:`NormalizedMatrix.plan`."""
+        from repro.core.planner import Planner
+
+        planner = planner or Planner(include_chunked=True)
+        return planner.plan(self, workload)
+
     # -- materialization -----------------------------------------------------------
 
     def materialize(self) -> MatrixLike:

@@ -167,10 +167,17 @@ class NormalizedMatrix:
 
     @property
     def tuple_ratio(self) -> float:
-        """Average tuple ratio ``n_S / n_R`` across the joins (Section 3.4)."""
+        """Average tuple ratio ``n_S / n_R`` across the joins (Section 3.4).
+
+        A degenerate attribute table with zero rows contributes an infinite
+        ratio rather than a ``ZeroDivisionError`` (mirroring
+        :class:`repro.core.cost.Dimensions`), so the decision rule and the
+        planner stay well-defined on empty inputs.
+        """
         if not self.attributes:
             return 1.0
-        ratios = [self.logical_rows / r.shape[0] for r in self.attributes]
+        ratios = [self.logical_rows / r.shape[0] if r.shape[0] else float("inf")
+                  for r in self.attributes]
         return float(np.mean(ratios))
 
     @property
@@ -264,6 +271,25 @@ class NormalizedMatrix:
         from repro.core.lazy import lazy_view
 
         return lazy_view(self, cache=cache)
+
+    # -- cost-based planning -----------------------------------------------------
+
+    def plan(self, workload=None, planner=None):
+        """Score candidate execution strategies for this matrix (cost-based).
+
+        Returns a :class:`~repro.core.planner.plan.Plan` ranking materialized
+        vs. factorized layout, eager vs. lazy engine, and serial vs. sharded
+        (vs. chunked) backends for *workload* -- a
+        :class:`~repro.core.planner.workload.WorkloadDescriptor`, defaulting
+        to a generic single pass over the Table-1 operator mix.  Pass a
+        configured :class:`~repro.core.planner.planner.Planner` to control
+        calibration or the candidate space; the default planner also scores
+        the chunked out-of-core backend for completeness.
+        """
+        from repro.core.planner import Planner
+
+        planner = planner or Planner(include_chunked=True)
+        return planner.plan(self, workload)
 
     # -- materialization ---------------------------------------------------------
 

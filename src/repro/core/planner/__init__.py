@@ -1,0 +1,35 @@
+"""Cost-based adaptive execution planning (``engine="auto"``).
+
+This package turns the paper's offline cost arithmetic
+(:mod:`repro.core.cost`) into a runtime decision procedure: calibrate the
+machine once (:mod:`~repro.core.planner.calibration`), describe the workload
+(:mod:`~repro.core.planner.workload`), score every candidate execution
+strategy (:mod:`~repro.core.planner.planner`) and hand back an explainable
+:class:`~repro.core.planner.plan.Plan`.  The ML estimators consume it through
+``engine="auto"``; ``NormalizedMatrix.plan()`` exposes it directly.
+"""
+
+from repro.core.planner.calibration import (
+    CalibrationProfile,
+    cache_path,
+    get_profile,
+    probe,
+    reset_profile_cache,
+)
+from repro.core.planner.plan import Plan, ScoredCandidate
+from repro.core.planner.planner import Planner, describe_data
+from repro.core.planner.workload import OperatorUse, WorkloadDescriptor
+
+__all__ = [
+    "CalibrationProfile",
+    "OperatorUse",
+    "Plan",
+    "Planner",
+    "ScoredCandidate",
+    "WorkloadDescriptor",
+    "cache_path",
+    "describe_data",
+    "get_profile",
+    "probe",
+    "reset_profile_cache",
+]

@@ -1,0 +1,153 @@
+"""The explainable output of the cost-based planner.
+
+A :class:`Plan` bundles the chosen execution strategy with the predicted
+costs of *every* candidate the planner scored, so a user (or a benchmark
+report) can see not just what was picked but by how much it won --
+``explain()`` renders exactly that, plus what the paper's static threshold
+rule would have done on the same data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.planner.calibration import CalibrationProfile
+from repro.core.planner.workload import WorkloadDescriptor
+
+
+@dataclass(frozen=True)
+class ScoredCandidate:
+    """One candidate execution strategy with its predicted wall-clock cost."""
+
+    factorized: bool
+    engine: str                 # "eager" or "lazy"
+    backend: str                # "dense", "sparse", "chunked" or "sharded"
+    n_shards: int
+    predicted_seconds: float
+    #: additive cost terms in seconds (arithmetic / dispatch / one-time ...)
+    breakdown: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        layout = "factorized" if self.factorized else "materialized"
+        shards = f" x{self.n_shards}" if self.n_shards > 1 else ""
+        return f"{layout}/{self.engine}/{self.backend}{shards}"
+
+    def to_json(self) -> dict:
+        return {
+            "factorized": self.factorized,
+            "engine": self.engine,
+            "backend": self.backend,
+            "n_shards": self.n_shards,
+            "predicted_seconds": self.predicted_seconds,
+            "breakdown": dict(self.breakdown),
+        }
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A ranked set of scored candidates; ``candidates[0]`` is the chosen one."""
+
+    candidates: Tuple[ScoredCandidate, ...]
+    workload: WorkloadDescriptor
+    data_summary: Dict[str, object]
+    calibration: CalibrationProfile
+    #: what the Section 5.1 threshold rule would pick ("factorize" /
+    #: "materialize"), or None when the rule does not apply (plain input).
+    threshold_rule_choice: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError("a plan needs at least one scored candidate")
+
+    # -- chosen-candidate passthroughs ---------------------------------------
+
+    @property
+    def chosen(self) -> ScoredCandidate:
+        return self.candidates[0]
+
+    @property
+    def engine(self) -> str:
+        return self.chosen.engine
+
+    @property
+    def factorized(self) -> bool:
+        return self.chosen.factorized
+
+    @property
+    def backend(self) -> str:
+        return self.chosen.backend
+
+    @property
+    def n_jobs(self) -> int:
+        """The chosen shard count under the ML estimators' ``n_jobs`` spelling."""
+        return self.chosen.n_shards
+
+    @property
+    def predicted_seconds(self) -> float:
+        return self.chosen.predicted_seconds
+
+    # -- reporting ------------------------------------------------------------
+
+    def explain(self, top: int = 5) -> str:
+        """Human-readable report: chosen plan, predicted costs, alternatives."""
+        shape = self.data_summary.get("shape")
+        kind = self.data_summary.get("kind", "matrix")
+        lines = [
+            f"cost-based plan for workload '{self.workload.name}' "
+            f"({self.workload.iterations} iteration(s)) on {kind} {shape}",
+            f"chosen: {self.chosen.label} -- predicted {_fmt_seconds(self.predicted_seconds)}",
+        ]
+        for term, seconds in sorted(self.chosen.breakdown.items()):
+            lines.append(f"  {term}: {_fmt_seconds(seconds)}")
+        for rank, candidate in enumerate(self.candidates[1:top], start=2):
+            ratio = (candidate.predicted_seconds / self.predicted_seconds
+                     if self.predicted_seconds > 0 else float("inf"))
+            lines.append(
+                f"rank {rank}: {candidate.label} -- predicted "
+                f"{_fmt_seconds(candidate.predicted_seconds)} ({ratio:.2f}x chosen)"
+            )
+        if len(self.candidates) > top:
+            lines.append(f"... {len(self.candidates) - top} more candidates scored")
+        tr = self.data_summary.get("tuple_ratio")
+        fr = self.data_summary.get("feature_ratio")
+        rr = self.data_summary.get("redundancy_ratio")
+        if self.threshold_rule_choice is not None and tr is not None:
+            lines.append(
+                f"paper threshold rule (tau=5, rho=1) on tuple_ratio={tr:.2f}, "
+                f"feature_ratio={fr:.2f} -> {self.threshold_rule_choice}"
+            )
+        elif self.threshold_rule_choice is not None and rr is not None:
+            # M:N matrices have no tuple/feature ratios; the static rule is
+            # the redundancy-ratio threshold of morpheus_mn.
+            lines.append(
+                f"paper redundancy rule (ratio >= 1.5) on "
+                f"redundancy_ratio={rr:.2f} -> {self.threshold_rule_choice}"
+            )
+        lines.append(
+            f"calibration: {self.calibration.source} "
+            f"(dense {self.calibration.dense_flops / 1e9:.1f} GFLOP/s, "
+            f"dispatch {self.calibration.dispatch_overhead_s * 1e6:.1f} us/op)"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """JSON-serializable form (the CI benchmark uploads this as an artifact)."""
+        return {
+            "workload": {"name": self.workload.name,
+                         "iterations": self.workload.iterations},
+            "data": dict(self.data_summary),
+            "chosen": self.chosen.to_json(),
+            "candidates": [c.to_json() for c in self.candidates],
+            "threshold_rule_choice": self.threshold_rule_choice,
+            "calibration": self.calibration.to_json(),
+        }
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"

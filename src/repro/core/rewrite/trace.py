@@ -1,0 +1,221 @@
+"""Structural tracing of the factorized rewrite rules (golden-test support).
+
+Every rewrite rule in :mod:`repro.core.rewrite` is expressed exclusively in
+terms of the primitives of :mod:`repro.la.ops` -- that is the closure
+property.  This module exploits it for regression protection: it temporarily
+wraps those primitives *inside the rewrite modules*, runs a Table-1 operator
+on a canonical schema, and records every primitive call as one step of an
+SSA-style operator tree::
+
+    {"id": "%0", "op": "matmul", "args": ["R1", {"anon": [3, 2]}], "shape": [4, 2]}
+    {"id": "%1", "op": "matmul", "args": ["K1", "%0"],             "shape": [8, 2]}
+
+Base matrices appear under their paper names (``S``, ``K1``, ``R1``, ...),
+intermediate results by the step id that produced them, and untracked
+temporaries (NumPy views, slices) as ``{"anon": shape}``.  The serialized
+trace captures exactly the *factorized algebra* -- including the
+multiplication order ``K (R X)`` vs. ``(K R) X`` that the paper's Section 3.3
+identifies as the crucial rewrite decision -- while being independent of the
+matrix values.  The golden files under ``tests/goldens/`` pin these traces;
+any refactor that silently changes the rewritten algebra fails the
+structural-equality test.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import functools
+from typing import Callable, Dict, List, Mapping
+
+import numpy as np
+
+from repro.core.rewrite import aggregation
+from repro.core.rewrite import crossprod as crossprod_rules
+from repro.core.rewrite import inversion, multiplication, scalar_ops
+
+#: Primitive names whose calls constitute the rewritten operator tree.
+PRIMITIVES = frozenset({
+    "matmul", "transpose", "rowsums", "colsums", "total_sum", "crossprod",
+    "diag_scale_rows", "scalar_op", "elementwise", "ginv", "hstack", "vstack",
+})
+
+#: The rewrite modules whose primitive calls are intercepted.
+REWRITE_MODULES = (aggregation, crossprod_rules, inversion, multiplication, scalar_ops)
+
+
+class RewriteTrace:
+    """Recorder for one traced rewrite execution."""
+
+    def __init__(self):
+        self.steps: List[dict] = []
+        self._names: Dict[int, str] = {}
+        self._alive: List[object] = []  # keeps traced objects alive so ids stay unique
+
+    def register(self, name: str, operand: object) -> None:
+        """Give *operand* a stable name in the recorded trees (e.g. ``"K1"``)."""
+        self._names[id(operand)] = name
+        self._alive.append(operand)
+
+    def describe(self, value) -> object:
+        """JSON-able descriptor of one primitive argument."""
+        if value is None or isinstance(value, (bool, int, float, str)):
+            return value
+        if isinstance(value, (np.integer, np.floating)):
+            return float(value)
+        if id(value) in self._names:
+            return self._names[id(value)]
+        if isinstance(value, (list, tuple)):
+            return [self.describe(v) for v in value]
+        if callable(value):
+            return {"fn": getattr(value, "__name__", "callable")}
+        if hasattr(value, "shape"):
+            return {"anon": [int(s) for s in value.shape]}
+        return {"value": repr(value)}  # pragma: no cover - defensive
+
+    def record(self, op: str, args: tuple, kwargs: dict, result) -> None:
+        step = {"op": op, "args": [self.describe(a) for a in args]}
+        if kwargs:
+            step["kwargs"] = {k: self.describe(v) for k, v in sorted(kwargs.items())}
+        if hasattr(result, "shape"):
+            ref = f"%{len(self.steps)}"
+            step["id"] = ref
+            step["shape"] = [int(s) for s in result.shape]
+            self._names[id(result)] = ref
+            self._alive.append(result)
+        self.steps.append(step)
+
+
+def _wrap(tracer: RewriteTrace, fn: Callable) -> Callable:
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        result = fn(*args, **kwargs)
+        tracer.record(fn.__name__, args, kwargs, result)
+        return result
+
+    wrapper.__wrapped_primitive__ = fn
+    return wrapper
+
+
+@contextlib.contextmanager
+def trace_rewrites(named_operands: Mapping[str, object]):
+    """Intercept every :mod:`repro.la.ops` primitive used by the rewrite modules.
+
+    The patch targets the names *imported into* each rewrite module (they use
+    ``from repro.la.ops import ...``), matching by the underlying function's
+    ``__name__`` so aliases like ``inversion.dense_ginv`` are covered too.
+    Yields the :class:`RewriteTrace` collecting the steps.
+    """
+    tracer = RewriteTrace()
+    for name, operand in named_operands.items():
+        tracer.register(name, operand)
+    patched: List[tuple] = []
+    try:
+        for module in REWRITE_MODULES:
+            for attr, value in list(vars(module).items()):
+                if callable(value) and getattr(value, "__module__", None) == "repro.la.ops" \
+                        and value.__name__ in PRIMITIVES:
+                    setattr(module, attr, _wrap(tracer, value))
+                    patched.append((module, attr, value))
+        yield tracer
+    finally:
+        for module, attr, original in patched:
+            setattr(module, attr, original)
+
+
+# ---------------------------------------------------------------------------
+# Canonical schemas and the Table-1 trace set
+# ---------------------------------------------------------------------------
+
+def canonical_star_schema():
+    """A small deterministic 2-join star schema with full column rank.
+
+    Returns ``(normalized, named_operands)``: an 8x7 logical matrix with
+    ``S`` 8x2, ``(K1, R1)`` joining 4 attribute rows of width 3 and
+    ``(K2, R2)`` joining 2 attribute rows of width 2.  Values are seeded but
+    the traces depend only on the structure.
+    """
+    from repro.core.normalized_matrix import NormalizedMatrix
+    from repro.la.ops import indicator_from_labels
+
+    rng = np.random.default_rng(42)
+    entity = rng.standard_normal((8, 2))
+    r1 = rng.standard_normal((4, 3))
+    r2 = rng.standard_normal((2, 2))
+    k1 = indicator_from_labels(np.array([0, 1, 2, 3, 0, 1, 2, 3]), num_columns=4)
+    k2 = indicator_from_labels(np.array([0, 1, 0, 1, 0, 1, 0, 1]), num_columns=2)
+    normalized = NormalizedMatrix(entity, [k1, k2], [r1, r2])
+    named = {"S": entity, "K1": k1, "K2": k2, "R1": r1, "R2": r2}
+    return normalized, named
+
+
+def canonical_mn_schema():
+    """A deterministic two-component M:N schema (10 output rows)."""
+    from repro.core.mn_matrix import MNNormalizedMatrix
+    from repro.la.ops import indicator_from_labels
+
+    rng = np.random.default_rng(7)
+    r1 = rng.standard_normal((4, 2))
+    r2 = rng.standard_normal((3, 3))
+    i1 = indicator_from_labels(np.array([0, 1, 2, 3, 0, 1, 2, 3, 0, 1]), num_columns=4)
+    i2 = indicator_from_labels(np.array([0, 1, 2, 0, 1, 2, 0, 1, 2, 0]), num_columns=3)
+    normalized = MNNormalizedMatrix([i1, i2], [r1, r2])
+    named = {"I1": i1, "I2": i2, "R1": r1, "R2": r2}
+    return normalized, named
+
+
+def table1_traces() -> Dict[str, dict]:
+    """Trace every Table-1 operator on the canonical schemas.
+
+    Returns ``{trace_name: {"schema": ..., "operator": ..., "steps": [...]}}``,
+    the exact structures serialized into ``tests/goldens/*.json``.
+    """
+    rng = np.random.default_rng(3)
+    traces: Dict[str, dict] = {}
+
+    star, star_named = canonical_star_schema()
+    x = rng.standard_normal((star.shape[1], 2))
+    w = rng.standard_normal((2, star.shape[0]))
+    y = rng.standard_normal((star.shape[0], 2))
+    star_ops = {
+        "star_scalar_multiply": lambda tn: tn * 3.0,
+        "star_scalar_add": lambda tn: tn + 3.0,
+        "star_scalar_power": lambda tn: tn ** 2,
+        "star_apply_exp": lambda tn: tn.apply(np.exp),
+        "star_rowsums": lambda tn: tn.rowsums(),
+        "star_colsums": lambda tn: tn.colsums(),
+        "star_total_sum": lambda tn: tn.total_sum(),
+        "star_lmm": lambda tn: tn @ x,
+        "star_rmm": lambda tn: w @ tn,
+        "star_transposed_lmm": lambda tn: tn.T @ y,
+        "star_crossprod_naive": lambda tn: tn.crossprod(method="naive"),
+        "star_crossprod_efficient": lambda tn: tn.crossprod(method="efficient"),
+        "star_gram_transposed": lambda tn: tn.T.crossprod(),
+        "star_ginv": lambda tn: tn.ginv(),
+        "star_solve": lambda tn: tn.solve(y[:, :1]),
+    }
+    star_args = dict(star_named, X=x, W=w, Y=y)
+    for name, op in star_ops.items():
+        with trace_rewrites(star_args) as tracer:
+            op(star)
+        traces[name] = {"schema": "canonical-star", "operator": name,
+                        "steps": tracer.steps}
+
+    mn, mn_named = canonical_mn_schema()
+    x_mn = rng.standard_normal((mn.shape[1], 2))
+    w_mn = rng.standard_normal((2, mn.shape[0]))
+    mn_ops = {
+        "mn_rowsums": lambda tn: tn.rowsums(),
+        "mn_colsums": lambda tn: tn.colsums(),
+        "mn_total_sum": lambda tn: tn.total_sum(),
+        "mn_lmm": lambda tn: tn @ x_mn,
+        "mn_rmm": lambda tn: w_mn @ tn,
+        "mn_crossprod": lambda tn: tn.crossprod(),
+        "mn_scalar_multiply": lambda tn: tn * 2.0,
+    }
+    mn_args = dict(mn_named, X=x_mn, W=w_mn)
+    for name, op in mn_ops.items():
+        with trace_rewrites(mn_args) as tracer:
+            op(mn)
+        traces[name] = {"schema": "canonical-mn", "operator": name,
+                        "steps": tracer.steps}
+    return traces

@@ -172,6 +172,28 @@ def _split_cols(matrix: MatrixLike, bounds: Sequence[Tuple[int, int]]) -> List[M
     return [matrix[:, start:stop] for start, stop in bounds]
 
 
+def _align_row_operand(other, bounds: Sequence[Tuple[int, int]]) -> List[MatrixLike]:
+    """Row slices of *other* aligned with *bounds*.
+
+    Accepts plain matrices and row-partitioned logical operands: a
+    :class:`ShardedMatrix` with identical bounds (the common case --
+    ``T.T @ (T @ w)`` composes a sharded LMM result straight back in)
+    contributes its shards with no copying; other logical operands
+    (differently-bounded sharded results, chunked matrices) are concretized
+    first.
+    """
+    if isinstance(other, ShardedMatrix):
+        if list(other.bounds) == list(bounds):
+            return list(other.shards)
+        other = other.to_matrix()
+    elif not is_matrix_like(other):
+        if hasattr(other, "to_matrix"):
+            other = other.to_matrix()
+        elif hasattr(other, "to_dense"):
+            other = other.to_dense()
+    return _split_rows(other, bounds)
+
+
 def _sum_partials(parts: List):
     total = parts[0]
     for part in parts[1:]:
@@ -334,12 +356,17 @@ class ShardedMatrix:
         parts = self.executor.map(_shard_rmatmul, list(zip(slices, self.shards)))
         return _sum_partials(parts)
 
-    def transpose_matmul(self, other: MatrixLike) -> np.ndarray:
-        """Compute ``self.T @ other`` (with *other* row-aligned to ``self``)."""
-        other = ensure_2d(other)
+    def transpose_matmul(self, other) -> np.ndarray:
+        """Compute ``self.T @ other`` (with *other* row-aligned to ``self``).
+
+        *other* may itself be sharded -- the result of ``self @ w`` feeding
+        straight back into the gradient product ``self.T @ p``.
+        """
+        if is_matrix_like(other) or not hasattr(other, "shape"):
+            other = ensure_2d(other)  # incl. array-likes such as nested lists
         if other.shape[0] != self._n_rows:
-            raise ShapeError(f"transpose_matmul: {self.shape}.T @ {other.shape}")
-        slices = _split_rows(other, self.bounds)
+            raise ShapeError(f"transpose_matmul: {self.shape}.T @ {tuple(other.shape)}")
+        slices = _align_row_operand(other, self.bounds)
         parts = self.executor.map(_shard_transpose_matmul, list(zip(self.shards, slices)))
         return _sum_partials(parts)
 
@@ -692,12 +719,13 @@ class ShardedNormalizedMatrix:
             return NotImplemented
         other = ensure_2d(other) if is_matrix_like(other) else other
         if self.transposed:
-            # T^T X = sum_i T_i^T X_i  (X row-aligned with the shards).
+            # T^T X = sum_i T_i^T X_i  (X row-aligned with the shards; X may
+            # itself be the sharded result of a previous LMM).
             if other.shape[0] != self.logical_rows:
                 raise ShapeError(
                     f"matmul: inner dimensions do not agree {self.shape} @ {tuple(other.shape)}"
                 )
-            slices = _split_rows(other, self.bounds)
+            slices = _align_row_operand(other, self.bounds)
             parts = self.executor.map(
                 _shard_transpose_matmul, list(zip(self.pieces, slices))
             )
@@ -706,6 +734,8 @@ class ShardedNormalizedMatrix:
             raise ShapeError(
                 f"matmul: inner dimensions do not agree {self.shape} @ {tuple(other.shape)}"
             )
+        if not is_matrix_like(other) and hasattr(other, "to_matrix"):
+            other = other.to_matrix()  # e.g. a (d x m) sharded/chunked operand
         parts = self.executor.map(_shard_matmul, [(p, other) for p in self.pieces])
         return self._sharded_result(parts)
 
@@ -743,10 +773,20 @@ class ShardedNormalizedMatrix:
         through the normalized double-multiply rewrites where available).
         """
         if self.transposed:
-            pairs = [(a, b) for a in self.pieces for b in self.pieces]
-            blocks = self.executor.map(_shard_pair_outer, pairs)
+            # The grid is symmetric (block (j, i) = block (i, j)^T), so only
+            # the upper triangle's pair products are dispatched to the pool --
+            # k(k+1)/2 instead of k^2 -- and the mirror blocks are transposes.
             k = self.num_shards
-            grid = [blocks[i * k:(i + 1) * k] for i in range(k)]
+            index_pairs = [(i, j) for i in range(k) for j in range(i, k)]
+            blocks = self.executor.map(
+                _shard_pair_outer,
+                [(self.pieces[i], self.pieces[j]) for i, j in index_pairs],
+            )
+            grid: List[List] = [[None] * k for _ in range(k)]
+            for (i, j), block in zip(index_pairs, blocks):
+                grid[i][j] = block
+                if i != j:
+                    grid[j][i] = block.T
             return la_ops.block_grid(grid)
         parts = self.executor.map(_shard_crossprod, [(p, method) for p in self.pieces])
         return _sum_partials([to_dense(p) for p in parts])

@@ -37,6 +37,15 @@ class Backend(abc.ABC):
 
     #: short identifier used in benchmark reports
     name: str = "abstract"
+    #: capability metadata describing the execution family (reports and
+    #: planner-adjacent tooling; the planner itself prices dispatch fan-out
+    #: through :meth:`partitions_for`) -----------------------------------------
+    #: whether sparse inputs keep a sparse representation in this storage
+    preserves_sparsity: bool = False
+    #: whether Table-1 operators fan out over parallel workers
+    parallel: bool = False
+    #: whether the storage is row-partitioned for out-of-core execution
+    out_of_core: bool = False
 
     @abc.abstractmethod
     def from_dense(self, array: np.ndarray) -> MatrixLike:
@@ -53,6 +62,23 @@ class Backend(abc.ABC):
     def describe(self) -> str:
         """Human-readable one-line description used by benchmark reports."""
         return f"{self.name} backend"
+
+    def partitions_for(self, n_rows: int) -> int:
+        """How many row partitions an *n_rows* matrix splits into (1 = monolithic).
+
+        The planner multiplies every primitive call by this fan-out when
+        pricing dispatch overhead.
+        """
+        return 1
+
+    def capabilities(self) -> dict:
+        """Planner-facing capability metadata for this backend instance."""
+        return {
+            "name": self.name,
+            "preserves_sparsity": self.preserves_sparsity,
+            "parallel": self.parallel,
+            "out_of_core": self.out_of_core,
+        }
 
 
 class DenseBackend(Backend):
@@ -71,6 +97,7 @@ class SparseBackend(Backend):
     """Store every matrix as a SciPy CSR matrix."""
 
     name = "sparse"
+    preserves_sparsity = True
 
     def from_dense(self, array: np.ndarray) -> sp.csr_matrix:
         return sp.csr_matrix(np.asarray(array, dtype=np.float64))
@@ -91,11 +118,16 @@ class ChunkedBackend(Backend):
     """
 
     name = "chunked"
+    preserves_sparsity = True
+    out_of_core = True
 
     def __init__(self, chunk_rows: int = 4096):
         if chunk_rows <= 0:
             raise ValueError("chunk_rows must be positive")
         self.chunk_rows = int(chunk_rows)
+
+    def partitions_for(self, n_rows: int) -> int:
+        return max(1, -(-int(n_rows) // self.chunk_rows))
 
     def from_dense(self, array: np.ndarray):
         from repro.la.chunked import ChunkedMatrix
@@ -130,12 +162,17 @@ class ShardedBackend(Backend):
     """
 
     name = "sharded"
+    preserves_sparsity = True
+    parallel = True
 
     def __init__(self, n_shards: int = 4, pool=None):
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
         self.n_shards = int(n_shards)
         self.pool = pool
+
+    def partitions_for(self, n_rows: int) -> int:
+        return min(self.n_shards, max(1, int(n_rows)))
 
     def from_dense(self, array: np.ndarray):
         from repro.core.shard import ShardedMatrix
@@ -174,3 +211,14 @@ def get_backend(name: str, chunk_rows: Optional[int] = None,
     if key == "sharded":
         return ShardedBackend(n_shards or 4)
     return _REGISTRY[key]()
+
+
+def backend_capabilities() -> dict:
+    """Capability metadata for every registered backend (default parameters).
+
+    Describes the execution families the planner chooses among; the
+    auto-planner benchmark embeds it in its results artifact so a plan JSON
+    is self-describing.  (The planner itself prices dispatch fan-out through
+    :meth:`Backend.partitions_for`.)
+    """
+    return {name: get_backend(name).capabilities() for name in _REGISTRY}

@@ -42,11 +42,22 @@ class IterativeEstimator(abc.ABC):
         served from the data matrix's
         :class:`~repro.core.lazy.cache.FactorizedCache` on every later
         iteration.  After a lazy ``fit`` the cache is exposed as
-        ``lazy_cache_`` for inspection.
+        ``lazy_cache_`` for inspection.  ``"auto"`` asks the cost-based
+        planner (:mod:`repro.core.planner`) to choose: it scores materialized
+        vs. factorized layout, eager vs. lazy engine and shard counts against
+        this estimator's Table-1 operator footprint and dispatches the fit
+        accordingly; the chosen :class:`~repro.core.planner.plan.Plan` is
+        exposed as ``plan_`` after the fit.  Any explicit ``n_jobs`` -- even
+        ``1`` -- pins the shard axis and leaves the planner the remaining
+        choices; the default ``None`` leaves it free.
     n_jobs:
         Number of row shards the data matrix is split into for parallel
         execution of the per-iteration LA passes (``-1`` uses the CPU
-        count).  With ``n_jobs != 1`` the fit wraps the data in the sharded
+        count).  The default ``None`` behaves like serial execution except
+        under ``engine="auto"``, where it leaves the shard axis free for the
+        planner; any explicit value -- including ``1`` -- pins it (so
+        ``n_jobs=1`` guarantees serial execution everywhere).  With an
+        effective shard count above one the fit wraps the data in the sharded
         backend of :mod:`repro.core.shard` -- normalized matrices via their
         ``.shard()`` method (keeping every shard factorized), plain
         dense/sparse matrices via :class:`~repro.core.shard.ShardedMatrix` --
@@ -55,11 +66,11 @@ class IterativeEstimator(abc.ABC):
         and memoized results are computed shard-parallel once.
     """
 
-    ENGINES = ("eager", "lazy")
+    ENGINES = ("eager", "lazy", "auto")
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-3,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 engine: str = "eager", n_jobs: int = 1):
+                 engine: str = "eager", n_jobs: Optional[int] = None):
         if max_iter <= 0:
             raise ValueError("max_iter must be positive")
         if step_size <= 0:
@@ -71,10 +82,17 @@ class IterativeEstimator(abc.ABC):
         self.seed = seed
         self.track_history = bool(track_history)
         self.engine = engine
-        self.n_jobs = validate_n_jobs(n_jobs)
+        #: explicit n_jobs pins the shard axis for engine="auto" (even 1).
+        self._n_jobs_pinned = n_jobs is not None
+        self.n_jobs = validate_n_jobs(1 if n_jobs is None else n_jobs)
+        #: Planner used by ``engine="auto"`` fits; ``None`` builds a default
+        #: (calibrated) one on first use.  Tests inject deterministic planners.
+        self.planner = None
         self.history_: List[float] = []
         #: FactorizedCache used by the last lazy fit (None for eager fits).
         self.lazy_cache_ = None
+        #: Plan chosen by the last ``engine="auto"`` fit (None otherwise).
+        self.plan_ = None
 
     def _rng(self) -> np.random.Generator:
         return np.random.default_rng(self.seed)
@@ -82,6 +100,61 @@ class IterativeEstimator(abc.ABC):
     def _dispatch_data(self, data):
         """Shard the concrete operand behind *data* according to ``n_jobs``."""
         return shard_for_jobs(data, self.n_jobs)
+
+    def _workload_descriptor(self):
+        """This estimator's Table-1 operator footprint (for ``engine="auto"``).
+
+        Subclasses override with the matching
+        :class:`~repro.core.planner.workload.WorkloadDescriptor` factory.
+        """
+        from repro.core.planner import WorkloadDescriptor
+
+        return WorkloadDescriptor.generic()
+
+    def _resolve_engine(self, data):
+        """Resolve ``engine=`` to a concrete ``(engine, operand)`` pair.
+
+        For ``"eager"``/``"lazy"`` this is exactly the historical
+        ``_dispatch_data`` path.  For ``"auto"`` the planner scores candidate
+        plans for this estimator's workload descriptor and the fit follows the
+        winner: a materialized plan swaps the normalized operand for its
+        (memoized) materialization, a sharded plan wraps the operand in the
+        parallel backend, and the returned engine drives the eager-vs-lazy
+        branch of the subclass's ``fit``.  The plan lands in ``plan_``.
+        """
+        if self.engine != "auto":
+            self.plan_ = None
+            return self.engine, self._dispatch_data(data)
+        from repro.core.lazy.expr import LazyExpr, LeafExpr
+        from repro.core.planner import Planner
+        from repro.la.types import is_matrix_like
+
+        concrete = unwrap_lazy(data)
+        if isinstance(data, LazyExpr) and not isinstance(data, LeafExpr):
+            # unwrap_lazy already evaluated the composite graph (a data-sized
+            # computation); fit on the result rather than evaluating it again.
+            data = concrete
+        pinned = effective_n_jobs(self.n_jobs) if self._n_jobs_pinned else None
+        if not (hasattr(concrete, "shard") or is_matrix_like(concrete)):
+            # Chunked / already-sharded operands pass through shard_for_jobs
+            # unchanged, so a sharded plan could not be realized -- pin the
+            # shard axis and let the planner choose only the engine.
+            pinned = 1
+        # Steady-state planning: _memoized_materialize makes the join cost a
+        # one-time setup per matrix, so repeated fits should not re-charge it.
+        planner = self.planner or Planner(charge_materialization=False)
+        plan = planner.plan(concrete, self._workload_descriptor(), n_shards=pinned)
+        self.plan_ = plan
+        operand = data
+        # Only normalized input has a layout choice; fixed-layout operands
+        # (plain, chunked, already-sharded) must never be densified here even
+        # if they happen to expose a materialize() method.
+        if not plan.factorized \
+                and plan.data_summary.get("kind") in ("normalized", "mn-normalized"):
+            operand = _memoized_materialize(concrete)
+        if plan.n_jobs > 1:
+            operand = shard_for_jobs(operand, plan.n_jobs)
+        return plan.engine, operand
 
     def _lazy_data(self, data):
         """Lazy view of *data* for the ``engine="lazy"`` paths.
@@ -155,6 +228,28 @@ def shard_for_jobs(data, n_jobs: int):
     if cache is not None:
         return sharded.lazy(cache=cache)
     return sharded
+
+
+def _memoized_materialize(matrix):
+    """``matrix.materialize()``, cached on the matrix (bases are immutable).
+
+    A materialized plan would otherwise re-join on every fit; the memo keeps
+    repeated ``engine="auto"`` fits on the same data matrix warm, matching
+    the per-object memoization of the shard views below.  Like the
+    FactorizedCache entries of the lazy engine, this is a deliberate
+    space-time tradeoff: the dense join output (``n_S x d``) lives as long as
+    the matrix does.  Release it with ``del matrix._materialized_view`` if
+    the matrix outlives its auto-engine fits.
+    """
+    cached = getattr(matrix, "_materialized_view", None)
+    if cached is not None:
+        return cached
+    materialized = matrix.materialize()
+    try:
+        matrix._materialized_view = materialized
+    except AttributeError:  # pragma: no cover - exotic operand types
+        pass
+    return materialized
 
 
 def _memoized_shard_view(matrix, jobs: int):

@@ -37,7 +37,7 @@ class GNMF(IterativeEstimator):
 
     def __init__(self, rank: int = 5, max_iter: int = 20, seed: Optional[int] = 0,
                  track_history: bool = False, epsilon: float = 1e-12,
-                 engine: str = "eager", n_jobs: int = 1):
+                 engine: str = "eager", n_jobs: Optional[int] = None):
         super().__init__(max_iter=max_iter, step_size=1.0, seed=seed,
                          track_history=track_history, engine=engine, n_jobs=n_jobs)
         if rank <= 0:
@@ -53,10 +53,15 @@ class GNMF(IterativeEstimator):
         h = rng.uniform(0.1, 1.0, size=(d, self.rank))
         return w, h
 
+    def _workload_descriptor(self):
+        from repro.core.planner import WorkloadDescriptor
+
+        return WorkloadDescriptor.gnmf(self.rank, self.max_iter)
+
     def fit(self, data, initial_w: Optional[np.ndarray] = None,
             initial_h: Optional[np.ndarray] = None) -> "GNMF":
         """Run the multiplicative updates; *data* must be element-wise non-negative."""
-        data = self._dispatch_data(data)
+        engine, data = self._resolve_engine(data)
         n, d = data.shape
         w, h = self._initial_factors(n, d)
         if initial_w is not None:
@@ -68,7 +73,7 @@ class GNMF(IterativeEstimator):
 
         self.history_ = []
         self.lazy_cache_ = None
-        if self.engine == "lazy":
+        if engine == "lazy":
             # Both numerators run through the lazy layer; the transposed view
             # of the data matrix is the join-invariant node reused (as a cache
             # hit) by the H update of every iteration after the first.

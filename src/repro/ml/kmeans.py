@@ -44,7 +44,7 @@ class KMeans(IterativeEstimator):
 
     def __init__(self, num_clusters: int = 10, max_iter: int = 20,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 engine: str = "eager", n_jobs: int = 1):
+                 engine: str = "eager", n_jobs: Optional[int] = None):
         super().__init__(max_iter=max_iter, step_size=1.0, seed=seed,
                          track_history=track_history, engine=engine, n_jobs=n_jobs)
         if num_clusters <= 0:
@@ -60,8 +60,13 @@ class KMeans(IterativeEstimator):
         rng = self._rng()
         return rng.standard_normal((d, self.num_clusters))
 
+    def _workload_descriptor(self):
+        from repro.core.planner import WorkloadDescriptor
+
+        return WorkloadDescriptor.kmeans(self.num_clusters, self.max_iter)
+
     def fit(self, data, initial_centroids: Optional[np.ndarray] = None) -> "KMeans":
-        data = self._dispatch_data(data)
+        engine, data = self._resolve_engine(data)
         n = data.shape[0]
         k = self.num_clusters
         centroids = (np.asarray(initial_centroids, dtype=np.float64)
@@ -74,7 +79,7 @@ class KMeans(IterativeEstimator):
         self.history_ = []
         self.lazy_cache_ = None
 
-        if self.engine == "lazy":
+        if engine == "lazy":
             # The lazy path writes the invariant terms *inside* the loop and
             # lets the FactorizedCache hoist them: rowSums(T ^ 2), the doubled
             # matrix 2 T, and the transposed view are each computed once and

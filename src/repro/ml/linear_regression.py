@@ -75,21 +75,26 @@ class LinearRegressionGD(IterativeEstimator):
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-6,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 engine: str = "eager", n_jobs: int = 1):
+                 engine: str = "eager", n_jobs: Optional[int] = None):
         super().__init__(max_iter=max_iter, step_size=step_size, seed=seed,
                          track_history=track_history, engine=engine, n_jobs=n_jobs)
         self.coef_: Optional[np.ndarray] = None
 
+    def _workload_descriptor(self):
+        from repro.core.planner import WorkloadDescriptor
+
+        return WorkloadDescriptor.linear_regression_gd(self.max_iter)
+
     def fit(self, data, target, initial_weights: Optional[np.ndarray] = None
             ) -> "LinearRegressionGD":
         y = as_column(target)
-        data = self._dispatch_data(data)
+        engine, data = self._resolve_engine(data)
         check_rows_match(data, y, "LinearRegressionGD.fit")
         d = data.shape[1]
         w = as_column(initial_weights).copy() if initial_weights is not None else np.zeros((d, 1))
         self.history_ = []
         self.lazy_cache_ = None
-        if self.engine == "lazy":
+        if engine == "lazy":
             # Hand the original operand over: a lazy view keeps its attached
             # FactorizedCache (as_lazy passes views through unchanged).
             return self._fit_lazy(data, y, w)

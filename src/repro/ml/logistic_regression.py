@@ -44,13 +44,18 @@ class LogisticRegressionGD(IterativeEstimator):
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-4,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 update: str = "paper", engine: str = "eager", n_jobs: int = 1):
+                 update: str = "paper", engine: str = "eager", n_jobs: Optional[int] = None):
         super().__init__(max_iter=max_iter, step_size=step_size, seed=seed,
                          track_history=track_history, engine=engine, n_jobs=n_jobs)
         if update not in ("paper", "exact"):
             raise ValueError("update must be 'paper' or 'exact'")
         self.update = update
         self.coef_: Optional[np.ndarray] = None
+
+    def _workload_descriptor(self):
+        from repro.core.planner import WorkloadDescriptor
+
+        return WorkloadDescriptor.logistic_regression(self.max_iter)
 
     def fit(self, data, target, initial_weights: Optional[np.ndarray] = None
             ) -> "LogisticRegressionGD":
@@ -60,7 +65,7 @@ class LogisticRegressionGD(IterativeEstimator):
         :func:`repro.ml.preprocessing.binarize_labels` to convert 0/1 labels).
         """
         y = as_column(target)
-        data = self._dispatch_data(data)
+        engine, data = self._resolve_engine(data)
         check_rows_match(data, y, "LogisticRegressionGD.fit")
         d = data.shape[1]
         if initial_weights is not None:
@@ -71,7 +76,7 @@ class LogisticRegressionGD(IterativeEstimator):
         self.history_ = []
         self.lazy_cache_ = None
 
-        if self.engine == "lazy":
+        if engine == "lazy":
             # Logistic regression has no data-sized join-invariant term (the
             # gradient is nonlinear in w), so the memoized node is the
             # transposed view T^T -- a flag flip sharing the base matrices,

@@ -8,9 +8,16 @@ under test rather than data plumbing.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
+
+# Deterministic planner calibration for the whole suite: no timing probe, no
+# writes to the user's ~/.cache.  Tests that exercise the probe or the cache
+# modes call them explicitly (and override this env var where needed).
+os.environ.setdefault("REPRO_CALIBRATION", "default")
 
 from repro.core.normalized_matrix import NormalizedMatrix
 from repro.core.mn_matrix import MNNormalizedMatrix

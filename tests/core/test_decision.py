@@ -2,11 +2,16 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
+from repro.core.cost import Dimensions
 from repro.core.decision import (
     DEFAULT_FEATURE_RATIO_THRESHOLD,
     DEFAULT_TUPLE_RATIO_THRESHOLD,
+    CostBasedStrategy,
     DecisionRule,
+    ThresholdStrategy,
+    get_strategy,
     morpheus,
     morpheus_mn,
     should_factorize,
@@ -55,6 +60,133 @@ class TestDecisionRule:
         assert should_factorize(10, 2)
         assert not should_factorize(1, 2)
         assert should_factorize(1, 2, rule=DecisionRule(tuple_ratio_threshold=0.5))
+
+
+class TestBoundaryAndDegenerateInputs:
+    """tau = 5 / rho = 1 boundary behaviour and division-by-zero guards."""
+
+    def test_exactly_at_both_thresholds_factorizes(self):
+        # The rule is >= on both axes: the boundary point belongs to the
+        # factorize region (Section 5.1's conservative tuning).
+        rule = DecisionRule()
+        assert rule.predict(tuple_ratio=5.0, feature_ratio=1.0)
+        assert rule.predict(tuple_ratio=5.0, feature_ratio=100.0)
+        assert rule.predict(tuple_ratio=100.0, feature_ratio=1.0)
+
+    def test_epsilon_below_either_threshold_materializes(self):
+        rule = DecisionRule()
+        eps = 1e-12
+        assert not rule.predict(tuple_ratio=5.0 - eps, feature_ratio=1.0)
+        assert not rule.predict(tuple_ratio=5.0, feature_ratio=1.0 - eps)
+
+    def test_dimensions_zero_attribute_rows_gives_infinite_tuple_ratio(self):
+        dims = Dimensions(n_s=10, d_s=3, n_r=0, d_r=2)
+        assert dims.tuple_ratio == float("inf")
+
+    def test_dimensions_zero_entity_features_gives_infinite_feature_ratio(self):
+        dims = Dimensions(n_s=10, d_s=0, n_r=5, d_r=2)
+        assert dims.feature_ratio == float("inf")
+
+    def test_normalized_matrix_zero_row_attribute_table(self):
+        # A degenerate empty attribute table must not raise ZeroDivisionError;
+        # it contributes an infinite tuple ratio, which factorizes.
+        entity = np.zeros((5, 2))
+        indicator = sp.csr_matrix((5, 0))
+        attribute = np.zeros((0, 3))
+        normalized = NormalizedMatrix(entity, [indicator], [attribute], validate=False)
+        assert normalized.tuple_ratio == float("inf")
+        assert should_factorize(normalized.tuple_ratio, normalized.feature_ratio)
+
+    def test_normalized_matrix_zero_entity_features(self):
+        indicator = sp.csr_matrix(np.eye(4))
+        normalized = NormalizedMatrix(None, [indicator], [np.ones((4, 2))])
+        assert normalized.feature_ratio == float("inf")
+        assert normalized.entity_width == 0
+
+    def test_infinite_ratios_flow_through_the_rule(self):
+        rule = DecisionRule()
+        assert rule.predict(float("inf"), float("inf"))
+        assert not rule.predict(float("inf"), 0.0)
+        assert not rule.predict(0.0, float("inf"))
+
+    def test_explain_reports_both_ratios_and_thresholds(self):
+        text = DecisionRule().explain(7.5, 2.25)
+        assert "tuple_ratio=7.50" in text
+        assert "feature_ratio=2.25" in text
+        assert "threshold 5.0" in text
+        assert "threshold 1.0" in text
+        assert text.endswith("factorize")
+
+    def test_explain_at_boundary_says_factorize(self):
+        assert DecisionRule().explain(5.0, 1.0).endswith("factorize")
+
+    def test_explain_below_boundary_says_materialize(self):
+        assert DecisionRule().explain(4.999, 1.0).endswith("materialize")
+
+
+class TestStrategies:
+    """The threshold rule and the cost-based planner behind one interface."""
+
+    def test_get_strategy_by_name(self):
+        assert isinstance(get_strategy("threshold"), ThresholdStrategy)
+        assert isinstance(get_strategy("cost"), CostBasedStrategy)
+
+    def test_get_strategy_passthrough_and_unknown(self):
+        strategy = ThresholdStrategy()
+        assert get_strategy(strategy) is strategy
+        with pytest.raises(ValueError, match="unknown execution strategy"):
+            get_strategy("oracle")
+
+    def test_threshold_strategy_matches_rule(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        strategy = ThresholdStrategy()
+        assert strategy.should_factorize(normalized) == DecisionRule().predict(
+            normalized.tuple_ratio, normalized.feature_ratio
+        )
+        assert "tuple_ratio" in strategy.explain(normalized)
+
+    @staticmethod
+    def _arithmetic_only_planner():
+        """A planner whose profile has negligible overheads, so the decision is
+        driven purely by the Table-3 arithmetic (deterministic for plumbing
+        tests regardless of the fixture's small scale)."""
+        from dataclasses import replace
+
+        from repro.core.planner import CalibrationProfile, Planner
+
+        profile = replace(CalibrationProfile.default(),
+                          dispatch_overhead_s=1e-9, sparse_dispatch_overhead_s=1e-9,
+                          shard_overhead_s=1e-9, lazy_node_overhead_s=1e-9)
+        return Planner(calibration=profile)
+
+    def test_cost_strategy_factorizes_redundant_data(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        strategy = CostBasedStrategy(planner=self._arithmetic_only_planner())
+        assert strategy.should_factorize(normalized)
+        assert "chosen:" in strategy.explain(normalized)
+
+    def test_morpheus_accepts_strategy_argument(self, single_join_dense):
+        dataset, _, _ = single_join_dense
+        strategy = CostBasedStrategy(planner=self._arithmetic_only_planner())
+        out = morpheus(dataset.entity, dataset.indicators, dataset.attributes,
+                       strategy=strategy)
+        assert isinstance(out, NormalizedMatrix)
+
+    def test_morpheus_rejects_rule_and_strategy_together(self, single_join_dense):
+        # A custom rule silently ignored because strategy= was also given
+        # would be a trap; the conflict raises instead.
+        dataset, _, _ = single_join_dense
+        with pytest.raises(ValueError, match="not both"):
+            morpheus(dataset.entity, dataset.indicators, dataset.attributes,
+                     rule=DecisionRule(tuple_ratio_threshold=2.0),
+                     strategy="threshold")
+
+    def test_cost_strategy_memoizes_decide_then_explain(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        strategy = CostBasedStrategy(planner=self._arithmetic_only_planner())
+        strategy.should_factorize(normalized)
+        first = strategy.plan(normalized)
+        assert strategy.plan(normalized) is first  # no second scoring pass
 
 
 class TestMorpheusFactory:

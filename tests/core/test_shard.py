@@ -416,3 +416,44 @@ class TestShardedBackend:
     def test_invalid_shard_count(self):
         with pytest.raises(ValueError):
             ShardedBackend(n_shards=0)
+
+
+class TestShardedOperandComposition:
+    """Sharded results feeding straight back into transposed products.
+
+    ``T.T @ (T @ w)`` is the textbook gradient composition: the inner LMM
+    returns a ShardedMatrix, which must be accepted as the row-aligned right
+    operand of the transposed product (regression test -- this used to raise
+    ShapeError through ensure_2d(np.asarray(ShardedMatrix))).
+    """
+
+    def test_normalized_gradient_composition(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        w = np.random.default_rng(0).standard_normal((materialized.shape[1], 1))
+        sharded = normalized.shard(3, pool="serial")
+        product = sharded @ w
+        assert isinstance(product, ShardedMatrix)
+        gradient = sharded.T @ product
+        assert np.allclose(np.asarray(gradient), materialized.T @ (materialized @ w))
+
+    def test_plain_gradient_composition(self, rng):
+        matrix = rng.standard_normal((31, 4))
+        w = rng.standard_normal((4, 1))
+        sharded = ShardedMatrix.from_matrix(matrix, 4)
+        gradient = sharded.T @ (sharded @ w)
+        assert np.allclose(np.asarray(gradient), matrix.T @ (matrix @ w))
+
+    def test_mismatched_bounds_are_concretized(self, rng):
+        matrix = rng.standard_normal((30, 4))
+        w = rng.standard_normal((4, 2))
+        sharded = ShardedMatrix.from_matrix(matrix, 3)
+        other = ShardedMatrix.from_matrix(matrix @ w, 5)  # different bounds
+        gradient = sharded.T @ other
+        assert np.allclose(np.asarray(gradient), matrix.T @ (matrix @ w))
+
+    def test_transposed_crossprod_symmetric_block_grid(self, single_join_dense):
+        _, normalized, materialized = single_join_dense
+        sharded = normalized.shard(3, pool="serial")
+        gram = sharded.T.crossprod()
+        assert np.allclose(gram, materialized @ materialized.T)
+        assert np.allclose(gram, gram.T)

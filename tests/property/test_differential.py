@@ -235,6 +235,90 @@ def test_generator_covers_both_join_families_and_densities():
     assert any("sparse=False" in d for d in descriptions)
 
 
+# -- planner-chosen execution (engine="auto") ---------------------------------
+# The same seeded schema generator drives the cost-based planner end to end: a
+# fit with engine="auto" (whatever plan it picks -- materialized or
+# factorized, eager or lazy, serial or sharded) must match the plain dense
+# reference to the suite's 1e-8 tolerance, and the chosen Plan must be
+# populated and explainable.  The planner gets the deterministic default
+# calibration profile so no timing (or disk access) happens inside the test;
+# correctness must hold for *any* profile, so fixing one loses no coverage.
+
+AUTO_ENGINE_SEEDS = tuple(range(14))
+
+
+def _deterministic_planner():
+    from repro.core.planner import CalibrationProfile, Planner
+
+    return Planner(calibration=CalibrationProfile.default())
+
+
+def _assert_plan_populated(plan) -> None:
+    assert plan is not None
+    assert plan.candidates, "auto fit must score at least one candidate"
+    text = plan.explain()
+    assert "chosen:" in text
+    assert "predicted" in text
+
+
+@pytest.mark.parametrize("seed", AUTO_ENGINE_SEEDS)
+def test_auto_engine_linreg_matches_dense_reference(seed):
+    """engine="auto" GD linear regression equals the dense eager reference."""
+    from repro.ml.linear_regression import LinearRegressionGD
+
+    case = generate_case(seed)
+    rng = np.random.default_rng(seed + 7_777_777)
+    y = rng.standard_normal(case.dense.shape[0])
+    auto = LinearRegressionGD(max_iter=3, step_size=1e-3, engine="auto")
+    auto.planner = _deterministic_planner()
+    auto.fit(case.normalized, y)
+    reference = LinearRegressionGD(max_iter=3, step_size=1e-3).fit(case.dense, y)
+    assert np.allclose(auto.coef_, reference.coef_, atol=ATOL, rtol=RTOL), (
+        f"[seed={seed}] auto plan {auto.plan_.chosen.label} diverged on {case.description}: "
+        f"max abs diff {np.abs(auto.coef_ - reference.coef_).max():.3e}"
+    )
+    _assert_plan_populated(auto.plan_)
+
+
+@pytest.mark.parametrize("seed", AUTO_ENGINE_SEEDS[::3])
+def test_auto_engine_logreg_matches_dense_reference(seed):
+    """engine="auto" logistic regression equals the dense eager reference."""
+    from repro.ml.logistic_regression import LogisticRegressionGD
+
+    case = generate_case(seed)
+    rng = np.random.default_rng(seed + 3_333_333)
+    y = np.where(rng.standard_normal(case.dense.shape[0]) > 0, 1.0, -1.0)
+    auto = LogisticRegressionGD(max_iter=3, engine="auto")
+    auto.planner = _deterministic_planner()
+    auto.fit(case.normalized, y)
+    reference = LogisticRegressionGD(max_iter=3).fit(case.dense, y)
+    assert np.allclose(auto.coef_, reference.coef_, atol=ATOL, rtol=RTOL), (
+        f"[seed={seed}] auto plan {auto.plan_.chosen.label} diverged on {case.description}"
+    )
+    _assert_plan_populated(auto.plan_)
+
+
+@pytest.mark.parametrize("seed", AUTO_ENGINE_SEEDS[::5])
+def test_auto_engine_with_pinned_shards_matches_reference(seed):
+    """engine="auto" composes with an explicit n_jobs: sharded, still exact."""
+    from repro.ml.linear_regression import LinearRegressionGD
+
+    case = generate_case(seed)
+    if case.dense.shape[0] < 2:
+        pytest.skip("sharding needs at least two rows")
+    rng = np.random.default_rng(seed + 5_555_555)
+    y = rng.standard_normal(case.dense.shape[0])
+    auto = LinearRegressionGD(max_iter=3, step_size=1e-3, engine="auto", n_jobs=2)
+    auto.planner = _deterministic_planner()
+    auto.fit(case.normalized, y)
+    assert auto.plan_.n_jobs == 2
+    reference = LinearRegressionGD(max_iter=3, step_size=1e-3).fit(case.dense, y)
+    assert np.allclose(auto.coef_, reference.coef_, atol=ATOL, rtol=RTOL), (
+        f"[seed={seed}] sharded auto plan diverged on {case.description}"
+    )
+    _assert_plan_populated(auto.plan_)
+
+
 # -- optional hypothesis layer -------------------------------------------------
 # When hypothesis is installed (it is in the CI dev extras) an extra,
 # derandomized exploration widens the seed space beyond the fixed grid above.
