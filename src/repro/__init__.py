@@ -25,6 +25,8 @@ from repro.core import (
     Plan,
     Planner,
     WorkloadDescriptor,
+    NormalizedBatchIterator,
+    StreamedMatrix,
 )
 from repro.core.decision import morpheus_mn
 from repro.ml import (
@@ -35,10 +37,10 @@ from repro.ml import (
     KMeans,
     GNMF,
 )
-from repro.relational import Table, read_csv
+from repro.relational import Table, read_csv, read_csv_chunks, stream_normalized_batches
 from repro.la import ChunkedMatrix
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "NormalizedMatrix",
@@ -60,8 +62,12 @@ __all__ = [
     "LinearRegressionCofactor",
     "KMeans",
     "GNMF",
+    "NormalizedBatchIterator",
+    "StreamedMatrix",
     "Table",
     "read_csv",
+    "read_csv_chunks",
+    "stream_normalized_batches",
     "ChunkedMatrix",
     "__version__",
 ]

@@ -62,6 +62,7 @@ from repro.core.planner import (
     WorkloadDescriptor,
 )
 from repro.core.shard import ShardedMatrix, ShardedNormalizedMatrix, shard_bounds
+from repro.core.stream import Batch, NormalizedBatchIterator, StreamedMatrix
 
 __all__ = [
     "CalibrationProfile",
@@ -75,6 +76,9 @@ __all__ = [
     "ShardedMatrix",
     "ShardedNormalizedMatrix",
     "shard_bounds",
+    "Batch",
+    "NormalizedBatchIterator",
+    "StreamedMatrix",
     "FactorizedCache",
     "LazyExpr",
     "as_lazy",

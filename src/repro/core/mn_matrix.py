@@ -19,8 +19,14 @@ from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.exceptions import ShapeError
-from repro.la.types import MatrixLike, ensure_2d, is_matrix_like, to_dense
+from repro.exceptions import NotSupportedError, ShapeError
+from repro.la.types import (
+    MatrixLike,
+    ensure_2d,
+    is_matrix_like,
+    normalize_row_indices,
+    to_dense,
+)
 from repro.core.indicator import validate_mn_indicator
 from repro.core.materialize import materialize_mn
 from repro.core.rewrite import aggregation, crossprod as crossprod_rules
@@ -146,6 +152,49 @@ class MNNormalizedMatrix:
             f"MNNormalizedMatrix(shape={self.shape}, components={self.num_components}, "
             f"widths={self.component_widths}, transposed={self.transposed})"
         )
+
+    # -- row selection ---------------------------------------------------------------
+
+    def take_rows(self, row_indices) -> "MNNormalizedMatrix":
+        """Return an M:N normalized matrix restricted to the given output rows.
+
+        A row of ``T = [I1 R1, ..., Iq Rq]`` is one join-output tuple, so row
+        selection slices every indicator matrix while sharing the component
+        matrices unchanged -- train/test splits and mini-batch selection stay
+        factorized, exactly as for the star-schema
+        :meth:`~repro.core.normalized_matrix.NormalizedMatrix.take_rows`.
+        Accepts integer index arrays (duplicates/reordering allowed) or a
+        boolean mask, with the same out-of-range validation; only valid on an
+        untransposed matrix.
+        """
+        if self.transposed:
+            raise NotSupportedError("take_rows is only defined for untransposed matrices")
+        indices = normalize_row_indices(row_indices, self.logical_rows)
+        new_indicators = [i[indices, :] for i in self.indicators]
+        return MNNormalizedMatrix(
+            new_indicators, self.attributes, transposed=False,
+            validate=False, crossprod_method=self.crossprod_method,
+        )
+
+    # -- streaming mini-batch execution ----------------------------------------------
+
+    def batches(self, target=None, batch_size: Optional[int] = None,
+                shuffle: bool = False, seed: Optional[int] = 0,
+                memory_budget: Optional[float] = None):
+        """Iterate this matrix as factorized row batches; see
+        :meth:`NormalizedMatrix.batches`."""
+        from repro.core.stream import NormalizedBatchIterator
+
+        return NormalizedBatchIterator(self, target=target, batch_size=batch_size,
+                                       shuffle=shuffle, seed=seed,
+                                       memory_budget=memory_budget)
+
+    def stream(self, batch_rows: Optional[int] = None,
+               memory_budget: Optional[float] = None):
+        """Out-of-core streamed view; see :meth:`NormalizedMatrix.stream`."""
+        from repro.core.stream import StreamedMatrix
+
+        return StreamedMatrix(self, batch_rows=batch_rows, memory_budget=memory_budget)
 
     # -- sharded parallel execution --------------------------------------------------
 

@@ -21,7 +21,13 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.exceptions import NotSupportedError, RewriteError, ShapeError
-from repro.la.types import MatrixLike, ensure_2d, is_matrix_like, to_dense
+from repro.la.types import (
+    MatrixLike,
+    ensure_2d,
+    is_matrix_like,
+    normalize_row_indices,
+    to_dense,
+)
 from repro.core.indicator import validate_pk_fk_indicator
 from repro.core.materialize import materialize_star
 from repro.core.rewrite import aggregation, crossprod as crossprod_rules
@@ -215,21 +221,44 @@ class NormalizedMatrix:
         """
         if self.transposed:
             raise NotSupportedError("take_rows is only defined for untransposed matrices")
-        indices = np.asarray(row_indices)
-        if indices.dtype == bool:
-            if indices.shape[0] != self.logical_rows:
-                raise ShapeError("boolean row mask length does not match the number of rows")
-            indices = np.flatnonzero(indices)
-        else:
-            indices = indices.astype(np.int64)
-            if indices.size and (indices.min() < 0 or indices.max() >= self.logical_rows):
-                raise ShapeError("row indices out of range")
+        indices = normalize_row_indices(row_indices, self.logical_rows)
         new_entity = self.entity[indices, :] if self.entity is not None else None
         new_indicators = [k[indices, :] for k in self.indicators]
         return NormalizedMatrix(
             new_entity, new_indicators, self.attributes, transposed=False,
             validate=False, crossprod_method=self.crossprod_method,
         )
+
+    # -- streaming mini-batch execution -------------------------------------------
+
+    def batches(self, target=None, batch_size: Optional[int] = None,
+                shuffle: bool = False, seed: Optional[int] = 0,
+                memory_budget: Optional[float] = None) -> "NormalizedBatchIterator":
+        """Iterate this matrix (and an aligned *target*) as factorized row batches.
+
+        Each batch is a ``take_rows`` slice -- entity and indicators sliced,
+        attribute tables shared -- so mini-batch training never materializes
+        the join.  See :class:`~repro.core.stream.NormalizedBatchIterator`
+        for the ``batch_size`` / ``shuffle`` / ``memory_budget`` knobs.
+        """
+        from repro.core.stream import NormalizedBatchIterator
+
+        return NormalizedBatchIterator(self, target=target, batch_size=batch_size,
+                                       shuffle=shuffle, seed=seed,
+                                       memory_budget=memory_budget)
+
+    def stream(self, batch_rows: Optional[int] = None,
+               memory_budget: Optional[float] = None) -> "StreamedMatrix":
+        """Out-of-core streamed view: Table-1 operators run one row batch at a time.
+
+        Returns a :class:`~repro.core.stream.StreamedMatrix` whose operators
+        never hold more than one batch's intermediates resident; pass
+        *memory_budget* (bytes) to derive the batch size from the planner's
+        memory model.
+        """
+        from repro.core.stream import StreamedMatrix
+
+        return StreamedMatrix(self, batch_rows=batch_rows, memory_budget=memory_budget)
 
     # -- sharded parallel execution ----------------------------------------------
 

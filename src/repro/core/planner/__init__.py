@@ -16,6 +16,12 @@ from repro.core.planner.calibration import (
     probe,
     reset_profile_cache,
 )
+from repro.core.planner.memory import (
+    batch_rows_for_budget,
+    factorized_nbytes,
+    materialized_nbytes,
+    streamed_batch_count,
+)
 from repro.core.planner.plan import Plan, ScoredCandidate
 from repro.core.planner.planner import Planner, describe_data
 from repro.core.planner.workload import OperatorUse, WorkloadDescriptor
@@ -27,9 +33,13 @@ __all__ = [
     "Planner",
     "ScoredCandidate",
     "WorkloadDescriptor",
+    "batch_rows_for_budget",
     "cache_path",
     "describe_data",
+    "factorized_nbytes",
     "get_profile",
+    "materialized_nbytes",
     "probe",
     "reset_profile_cache",
+    "streamed_batch_count",
 ]

@@ -18,9 +18,11 @@ logic never depends on where the constants came from.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
+import tempfile
 import time
 from dataclasses import asdict, dataclass, replace
 from typing import Optional
@@ -94,8 +96,28 @@ class CalibrationProfile:
         return cls(**fields)
 
     def save(self, path: pathlib.Path) -> None:
+        """Write the profile atomically (tempfile in the same directory + rename).
+
+        Multiple processes race on the shared cache file (e.g. the streaming
+        benchmark's workers all probing on a cold machine); writing through a
+        temporary file and ``os.replace`` guarantees a reader never sees a
+        torn, half-written JSON document -- it sees the old profile or the new
+        one.  A concurrent loser of the race simply overwrites with an
+        equivalent profile.
+        """
+        path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+        payload = json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
 
     @classmethod
     def load(cls, path: pathlib.Path) -> "CalibrationProfile":

@@ -22,17 +22,21 @@ class ScoredCandidate:
 
     factorized: bool
     engine: str                 # "eager" or "lazy"
-    backend: str                # "dense", "sparse", "chunked" or "sharded"
+    backend: str                # "dense", "sparse", "chunked", "sharded" or "streamed"
     n_shards: int
     predicted_seconds: float
     #: additive cost terms in seconds (arithmetic / dispatch / one-time ...)
     breakdown: Mapping[str, float] = field(default_factory=dict)
+    #: mini-batch row count of a "streamed" candidate (None otherwise); the
+    #: ML estimators feed it to NormalizedBatchIterator when the plan wins.
+    batch_rows: Optional[int] = None
 
     @property
     def label(self) -> str:
         layout = "factorized" if self.factorized else "materialized"
         shards = f" x{self.n_shards}" if self.n_shards > 1 else ""
-        return f"{layout}/{self.engine}/{self.backend}{shards}"
+        batches = f"@{self.batch_rows}rows" if self.batch_rows is not None else ""
+        return f"{layout}/{self.engine}/{self.backend}{batches}{shards}"
 
     def to_json(self) -> dict:
         return {
@@ -42,6 +46,7 @@ class ScoredCandidate:
             "n_shards": self.n_shards,
             "predicted_seconds": self.predicted_seconds,
             "breakdown": dict(self.breakdown),
+            "batch_rows": self.batch_rows,
         }
 
 

@@ -39,9 +39,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.exceptions import PlanningError
 from repro.core.cost import CostModel, Operator
 from repro.core.mn_matrix import MNNormalizedMatrix
 from repro.core.normalized_matrix import NormalizedMatrix
+from repro.core.planner import memory as memory_model
 from repro.core.planner.calibration import CalibrationProfile, get_profile
 from repro.core.planner.plan import Plan, ScoredCandidate
 from repro.core.planner.workload import WorkloadDescriptor
@@ -70,6 +72,12 @@ class _DataProfile:
     tuple_ratio: Optional[float] = None
     feature_ratio: Optional[float] = None
     redundancy_ratio: Optional[float] = None
+    #: resident bytes of the materialized / factorized representations plus
+    #: the per-pass factorized working set (the planner's memory dimension;
+    #: see repro.core.planner.memory).
+    materialized_bytes: int = 0
+    factorized_bytes: int = 0
+    stream_bytes: int = 0
 
     @property
     def layouts(self) -> tuple:
@@ -102,6 +110,11 @@ def describe_data(data) -> _DataProfile:
 
     if isinstance(data, (TransposedChunkedView, TransposedShardedView)):
         data = data._parent
+    mem = dict(
+        materialized_bytes=memory_model.materialized_nbytes(data),
+        factorized_bytes=memory_model.factorized_nbytes(data),
+        stream_bytes=memory_model.entity_stream_nbytes(data),
+    )
     if isinstance(data, ShardedMatrix):
         # A plain matrix stored row-sharded: materialized layout and shard
         # fan-out are fixed; only the engine is free, priced at the operand's
@@ -113,7 +126,7 @@ def describe_data(data) -> _DataProfile:
             sparse=any(is_sparse(s) for s in data.shards),
             n_rows=n_rows, n_cols=n_cols, num_joins=0,
             can_factorize=False, partitions=data.num_shards,
-            parallel_partitions=pool_name != "serial",
+            parallel_partitions=pool_name != "serial", **mem,
         )
     if isinstance(data, ChunkedMatrix):
         # Chunked operands hold the already-materialized matrix row-partitioned:
@@ -124,7 +137,7 @@ def describe_data(data) -> _DataProfile:
             kind="chunked", model=CostModel(n_rows, n_cols, []),
             sparse=any(is_sparse(c) for c in data.chunks),
             n_rows=n_rows, n_cols=n_cols, num_joins=0,
-            can_factorize=False, partitions=data.num_chunks,
+            can_factorize=False, partitions=data.num_chunks, **mem,
         )
     if isinstance(data, ShardedNormalizedMatrix):
         # Pre-sharded factorized operand: the layout and shard count are
@@ -147,7 +160,7 @@ def describe_data(data) -> _DataProfile:
             n_rows=n_rows, n_cols=piece.shape[1],
             num_joins=len(attribute_dims), can_factorize=False,
             fixed_factorized=True, partitions=data.num_shards,
-            parallel_partitions=pool_name != "serial",
+            parallel_partitions=pool_name != "serial", **mem,
         )
     if isinstance(data, NormalizedMatrix):
         plain = data.T if data.transposed else data
@@ -160,7 +173,7 @@ def describe_data(data) -> _DataProfile:
             n_rows=plain.logical_rows, n_cols=plain.logical_cols,
             num_joins=plain.num_joins, can_factorize=True,
             tuple_ratio=plain.tuple_ratio, feature_ratio=plain.feature_ratio,
-            redundancy_ratio=plain.redundancy_ratio(),
+            redundancy_ratio=plain.redundancy_ratio(), **mem,
         )
     if isinstance(data, MNNormalizedMatrix):
         plain = data.T if data.transposed else data
@@ -171,7 +184,7 @@ def describe_data(data) -> _DataProfile:
             sparse=any(is_sparse(r) for r in plain.attributes),
             n_rows=plain.logical_rows, n_cols=plain.logical_cols,
             num_joins=plain.num_components, can_factorize=True,
-            redundancy_ratio=plain.redundancy_ratio(),
+            redundancy_ratio=plain.redundancy_ratio(), **mem,
         )
     # Plain dense/sparse/chunked/sharded operands: the layout is fixed, only
     # the engine and the shard count remain to be chosen.
@@ -179,7 +192,7 @@ def describe_data(data) -> _DataProfile:
     return _DataProfile(
         kind="plain", model=CostModel(n_rows, n_cols, []),
         sparse=is_sparse(data), n_rows=n_rows, n_cols=n_cols,
-        num_joins=0, can_factorize=False,
+        num_joins=0, can_factorize=False, **mem,
     )
 
 
@@ -207,16 +220,35 @@ class Planner:
         materialized view per data matrix, so across repeated fits the
         conversion is a one-time setup (like the calibration probe itself)
         and the plan should optimize the steady state.
+    memory_budget:
+        Optional per-pass working-set budget in bytes -- the planner's memory
+        dimension (see :mod:`repro.core.planner.memory`).  The budget bounds
+        what one data pass streams through beyond the always-resident
+        attribute tables: candidates whose working set exceeds it (a
+        materialized/chunked plan whose dense join output does not fit, a
+        full-pass factorized plan whose entity + indicator matrices do not
+        fit) are infeasible and dropped, and a ``"streamed"`` candidate --
+        mini-batch execution through
+        :class:`~repro.core.stream.NormalizedBatchIterator` at the batch size
+        :func:`~repro.core.planner.memory.batch_rows_for_budget` derives from
+        the budget -- is scored instead.  When the materialized footprint
+        exceeds the budget the streamed (or full-pass factorized) plan is all
+        that remains, which is how ``engine="auto"`` routes larger-than-budget
+        fits to the estimators' mini-batch paths.
     """
 
     def __init__(self, calibration: Optional[CalibrationProfile] = None,
                  shard_candidates: Optional[Sequence[int]] = None,
                  include_chunked: bool = False, chunk_rows: int = 4096,
-                 charge_materialization: bool = True):
+                 charge_materialization: bool = True,
+                 memory_budget: Optional[float] = None):
         self.calibration = calibration
         self.include_chunked = bool(include_chunked)
         self.chunk_rows = int(chunk_rows)
         self.charge_materialization = bool(charge_materialization)
+        if memory_budget is not None and memory_budget <= 0:
+            raise ValueError("memory_budget must be positive (bytes)")
+        self.memory_budget = None if memory_budget is None else float(memory_budget)
         if shard_candidates is None:
             from repro.la.parallel import default_workers
 
@@ -281,12 +313,41 @@ class Planner:
                     candidates.append(self._score(
                         dp, workload, profile, factorized, engine, "chunked", 1))
 
+        # Memory dimension: drop candidates whose resident footprint exceeds
+        # the budget and add the streamed (mini-batch) candidate for
+        # factorized-capable operands.  The streamed candidate is always
+        # feasible by construction -- its batch size is derived from the same
+        # budget -- so a larger-than-budget matrix still gets a plan.
+        if self.memory_budget is not None:
+            feasible = [c for c in candidates if self._fits_budget(dp, c)]
+            streamed = []
+            if dp.kind in ("normalized", "mn-normalized", "plain"):
+                # Streamed mini-batch execution: the per-pass working set is
+                # one batch's slice, so it is feasible under any budget.  The
+                # layout follows the operand (factorized batches for
+                # normalized input, row slices for plain input); chunked and
+                # pre-sharded operands have no row-selection surface.
+                batch_rows = memory_model.batch_rows_for_dims(
+                    dp.n_rows, dp.n_cols, dp.num_joins, self.memory_budget)
+                streamed.append(self._score(
+                    dp, workload, profile, dp.can_factorize, "eager", "streamed", 1,
+                    batch_rows=batch_rows))
+            candidates = feasible + streamed
+            if not candidates:
+                raise PlanningError(
+                    f"no execution plan fits the memory budget "
+                    f"({self.memory_budget:.0f} bytes): materialized passes need "
+                    f"{dp.materialized_bytes} bytes, factorized passes need "
+                    f"{dp.stream_bytes} bytes, and a "
+                    f"{dp.kind} operand cannot be streamed"
+                )
+
         # On exact cost ties prefer: fewer shards, the eager engine, the
         # input's own layout (no conversion risk), and the simplest backend
         # family (in-memory serial before sharded before out-of-core chunked
         # -- never recommend wrapping a small matrix in the chunked backend
         # for a tie's worth of benefit).
-        backend_rank = {"dense": 0, "sparse": 0, "sharded": 1, "chunked": 2}
+        backend_rank = {"dense": 0, "sparse": 0, "sharded": 1, "streamed": 2, "chunked": 3}
         input_factorized = dp.can_factorize or dp.fixed_factorized
 
         def sort_key(c: ScoredCandidate):
@@ -301,9 +362,27 @@ class Planner:
         candidates.sort(key=sort_key)
         return candidates
 
+    def _fits_budget(self, dp: _DataProfile, candidate: ScoredCandidate) -> bool:
+        """Whether a candidate's per-pass working set fits the memory budget.
+
+        The budget bounds what one data pass streams through *beyond the
+        always-resident attribute tables*: a materialized pass touches the
+        dense ``n_S x d`` join output (the repo's chunked backend holds its
+        row chunks in memory, so it is *not* an escape hatch from the budget),
+        a factorized pass touches the entity and indicator matrices, and the
+        streamed backend touches one mini-batch slice at a time -- which is
+        why it is the fallback that always fits.
+        """
+        budget = self.memory_budget
+        if budget is None:
+            return True
+        footprint = dp.stream_bytes if candidate.factorized else dp.materialized_bytes
+        return footprint <= budget
+
     def _score(self, dp: _DataProfile, workload: WorkloadDescriptor,
                profile: CalibrationProfile, factorized: bool, engine: str,
-               backend: str, shards: int) -> ScoredCandidate:
+               backend: str, shards: int,
+               batch_rows: Optional[int] = None) -> ScoredCandidate:
         uses = workload.uses_for_engine(engine)
         iterations = workload.iterations
 
@@ -353,6 +432,10 @@ class Planner:
         # small base-matrix calls and one sparse indicator scatter.
         calls_per_op = (2.0 + 2.0 * max(dp.num_joins, 1)) if factorized else 1.0
         fanout = float(shards)
+        if backend == "streamed":
+            # Every operator is executed once per mini-batch.
+            fanout = float(max(
+                memory_model.streamed_batch_count(dp.n_rows, batch_rows or dp.n_rows), 1))
         if backend == "chunked":
             if dp.kind == "chunked":  # a real chunked operand: its own fan-out
                 fanout = float(dp.partitions)
@@ -364,6 +447,12 @@ class Planner:
         dispatch_s += scatter_calls * fanout * profile.sparse_dispatch_overhead_s
         if shards > 1:
             dispatch_s += total_ops * shards * profile.shard_overhead_s
+        if backend == "streamed":
+            # Cutting a factorized batch slices the entity plus each indicator
+            # matrix once per batch per pass -- priced at the sparse dispatch
+            # rate like any other indicator touch.
+            dispatch_s += (fanout * workload.iterations * (dp.num_joins + 1)
+                           * profile.sparse_dispatch_overhead_s)
 
         # Engine: lazy bookkeeping.  Per-iteration nodes are re-evaluated each
         # pass; invariant nodes (per_iteration=False) are built once and then
@@ -390,18 +479,22 @@ class Planner:
         return ScoredCandidate(
             factorized=factorized, engine=engine, backend=backend, n_shards=shards,
             predicted_seconds=sum(breakdown.values()), breakdown=breakdown,
+            batch_rows=batch_rows,
         )
 
     # -- reporting helpers -----------------------------------------------------
 
-    @staticmethod
-    def _summary(dp: _DataProfile) -> dict:
+    def _summary(self, dp: _DataProfile) -> dict:
         summary = {
             "kind": dp.kind,
             "shape": (dp.n_rows, dp.n_cols),
             "sparse": dp.sparse,
             "num_joins": dp.num_joins,
+            "materialized_bytes": dp.materialized_bytes,
+            "factorized_bytes": dp.factorized_bytes,
         }
+        if self.memory_budget is not None:
+            summary["memory_budget"] = self.memory_budget
         if dp.tuple_ratio is not None:
             summary["tuple_ratio"] = dp.tuple_ratio
             summary["feature_ratio"] = dp.feature_ratio

@@ -64,12 +64,17 @@ def shard_bounds(n_rows: int, n_shards: int) -> List[Tuple[int, int]]:
 
     The shard count is clamped to the row count (a 1-row matrix yields one
     shard no matter what was requested), and row surplus goes to the leading
-    shards so sizes differ by at most one.
+    shards so sizes differ by at most one.  A zero-row matrix partitions into
+    a single empty shard ``[(0, 0)]`` rather than dividing by a clamped shard
+    count of zero, so degenerate inputs (empty train/test splits, drained
+    streams) flow through the sharded wrappers instead of crashing.
     """
-    if n_rows < 1:
-        raise ShapeError("cannot shard a matrix with no rows")
+    if n_rows < 0:
+        raise ShapeError("cannot shard a matrix with negative rows")
     if n_shards < 1:
         raise ValueError("n_shards must be at least 1")
+    if n_rows == 0:
+        return [(0, 0)]
     n_shards = min(int(n_shards), int(n_rows))
     base, extra = divmod(int(n_rows), n_shards)
     bounds: List[Tuple[int, int]] = []

@@ -42,6 +42,15 @@ class NotSupportedError(MorpheusError):
     """Raised for operations outside the supported LA operator set (Table 1)."""
 
 
+class PlanningError(MorpheusError):
+    """Raised when the cost-based planner cannot produce a feasible plan.
+
+    The only current source is a memory budget too small for *any* execution
+    strategy -- even the streamed mini-batch backend needs the factorized base
+    matrices resident.
+    """
+
+
 class ConvergenceError(MorpheusError):
     """Raised when an iterative ML algorithm fails to make progress."""
 

@@ -94,6 +94,25 @@ def check_same_shape(a: MatrixLike, b: MatrixLike, context: str = "operation") -
         raise ShapeError(f"{context}: shape mismatch {sa} vs {sb}")
 
 
+def normalize_row_indices(row_indices, n_rows: int) -> np.ndarray:
+    """Validate a row-selection argument and return it as an ``int64`` index array.
+
+    Accepts an integer index array (duplicates and arbitrary order allowed) or
+    a boolean mask of length *n_rows*.  Used by every ``take_rows``
+    implementation so star-schema and M:N row selection reject bad input
+    identically.
+    """
+    indices = np.asarray(row_indices)
+    if indices.dtype == bool:
+        if indices.ndim != 1 or indices.shape[0] != n_rows:
+            raise ShapeError("boolean row mask length does not match the number of rows")
+        return np.flatnonzero(indices)
+    indices = indices.astype(np.int64).ravel()
+    if indices.size and (indices.min() < 0 or indices.max() >= n_rows):
+        raise ShapeError("row indices out of range")
+    return indices
+
+
 def check_matmul_shapes(a_shape: tuple, b_shape: tuple, context: str = "matmul") -> None:
     """Raise :class:`ShapeError` unless ``a @ b`` is dimensionally valid."""
     if a_shape[1] != b_shape[0]:

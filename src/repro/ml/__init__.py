@@ -28,10 +28,12 @@ from repro.ml.kmeans import KMeans
 from repro.ml.gnmf import GNMF
 from repro.ml.metrics import (
     accuracy,
+    clip_scores,
     log_loss,
     mean_squared_error,
     root_mean_squared_error,
     r2_score,
+    sigmoid,
     within_cluster_ss,
     reconstruction_error,
 )
@@ -45,6 +47,8 @@ __all__ = [
     "KMeans",
     "GNMF",
     "accuracy",
+    "clip_scores",
+    "sigmoid",
     "log_loss",
     "mean_squared_error",
     "root_mean_squared_error",

@@ -64,24 +64,63 @@ class IterativeEstimator(abc.ABC):
         and the same estimator code runs unchanged over the shards.  Composes
         with ``engine="lazy"``: the graphs are built over the sharded operand
         and memoized results are computed shard-parallel once.
+    solver:
+        ``"batch"`` (default) runs the historical full-batch loop -- one LA
+        pass over the whole data matrix per iteration.  ``"sgd"`` runs the
+        mini-batch loop instead: ``max_iter`` epochs, each streaming the data
+        through a :class:`~repro.core.stream.NormalizedBatchIterator` and
+        applying one ``partial_fit``-style update per batch.  On a normalized
+        matrix every batch is a factorized ``take_rows`` slice (attribute
+        tables shared across all batches), so mini-batch training never
+        materializes the join.  One epoch with ``batch_size >= n_rows`` (and
+        ``shuffle=False``) is bit-for-bit identical to one full-batch
+        iteration.  Composes with ``n_jobs`` (each batch is sharded for the
+        parallel backend); ``engine="lazy"`` has nothing to memoize across
+        distinct batches, so the sgd loop always executes its batches eagerly.
+    batch_size:
+        Rows per mini-batch for ``solver="sgd"`` / streamed plans.  ``None``
+        derives it from ``memory_budget`` when set, else uses one full-size
+        batch.
+    shuffle:
+        Reshuffle the rows each epoch (seeded by ``seed``) in the sgd loop.
+    memory_budget:
+        Optional per-pass working-set budget in bytes.  ``solver="sgd"``
+        derives the batch size from it (via the planner's memory model), and
+        ``engine="auto"`` hands it to the :class:`~repro.core.planner.Planner`
+        as the memory dimension -- when the materialized (or even the
+        full-pass factorized) footprint exceeds the budget, the planner
+        returns a streamed plan and the fit runs mini-batched automatically.
     """
 
     ENGINES = ("eager", "lazy", "auto")
+    SOLVERS = ("batch", "sgd")
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-3,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 engine: str = "eager", n_jobs: Optional[int] = None):
+                 engine: str = "eager", n_jobs: Optional[int] = None,
+                 solver: str = "batch", batch_size: Optional[int] = None,
+                 shuffle: bool = False, memory_budget: Optional[float] = None):
         if max_iter <= 0:
             raise ValueError("max_iter must be positive")
         if step_size <= 0:
             raise ValueError("step_size must be positive")
         if engine not in self.ENGINES:
             raise ValueError(f"engine must be one of {self.ENGINES}, got {engine!r}")
+        if solver not in self.SOLVERS:
+            raise ValueError(f"solver must be one of {self.SOLVERS}, got {solver!r}")
+        if batch_size is not None and int(batch_size) < 1:
+            raise ValueError("batch_size must be at least 1")
+        if memory_budget is not None and memory_budget <= 0:
+            raise ValueError("memory_budget must be positive (bytes)")
         self.max_iter = int(max_iter)
         self.step_size = float(step_size)
         self.seed = seed
         self.track_history = bool(track_history)
         self.engine = engine
+        self.solver = solver
+        self.batch_size = None if batch_size is None else int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.memory_budget = None if memory_budget is None else float(memory_budget)
         #: explicit n_jobs pins the shard axis for engine="auto" (even 1).
         self._n_jobs_pinned = n_jobs is not None
         self.n_jobs = validate_n_jobs(1 if n_jobs is None else n_jobs)
@@ -124,6 +163,11 @@ class IterativeEstimator(abc.ABC):
         """
         if self.engine != "auto":
             self.plan_ = None
+            if self.solver == "sgd":
+                # The sgd loop batches the concrete operand itself and shards
+                # per batch; wrapping the whole matrix in the sharded backend
+                # here would hide its row-selection surface.
+                return self.engine, unwrap_lazy(data)
             return self.engine, self._dispatch_data(data)
         from repro.core.lazy.expr import LazyExpr, LeafExpr
         from repro.core.planner import Planner
@@ -135,6 +179,10 @@ class IterativeEstimator(abc.ABC):
             # computation); fit on the result rather than evaluating it again.
             data = concrete
         pinned = effective_n_jobs(self.n_jobs) if self._n_jobs_pinned else None
+        if self.solver == "sgd":
+            # Mini-batch fits shard per batch, not whole-matrix; restrict the
+            # planner to the layout/engine axes.
+            pinned = 1
         if not (hasattr(concrete, "shard") or is_matrix_like(concrete)):
             # Chunked / already-sharded operands pass through shard_for_jobs
             # unchanged, so a sharded plan could not be realized -- pin the
@@ -142,7 +190,8 @@ class IterativeEstimator(abc.ABC):
             pinned = 1
         # Steady-state planning: _memoized_materialize makes the join cost a
         # one-time setup per matrix, so repeated fits should not re-charge it.
-        planner = self.planner or Planner(charge_materialization=False)
+        planner = self.planner or Planner(charge_materialization=False,
+                                          memory_budget=self.memory_budget)
         plan = planner.plan(concrete, self._workload_descriptor(), n_shards=pinned)
         self.plan_ = plan
         operand = data
@@ -152,9 +201,49 @@ class IterativeEstimator(abc.ABC):
         if not plan.factorized \
                 and plan.data_summary.get("kind") in ("normalized", "mn-normalized"):
             operand = _memoized_materialize(concrete)
+        if plan.backend == "streamed":
+            # A streamed plan dispatches the fit through the mini-batch loop
+            # (see _use_minibatch); the operand stays unwrapped so the batch
+            # iterator can slice it.
+            return plan.engine, unwrap_lazy(operand)
         if plan.n_jobs > 1:
             operand = shard_for_jobs(operand, plan.n_jobs)
         return plan.engine, operand
+
+    def _use_minibatch(self) -> bool:
+        """Whether this fit runs the mini-batch loop.
+
+        True when the user asked for it (``solver="sgd"``) or when an
+        ``engine="auto"`` plan chose the streamed backend under a memory
+        budget.
+        """
+        if self.solver == "sgd":
+            return True
+        return self.plan_ is not None and self.plan_.chosen.backend == "streamed"
+
+    def _stream_batches(self, data, target=None):
+        """The mini-batch iterator of one sgd/streamed fit over *data*.
+
+        Batch-size precedence: an explicit ``batch_size`` wins; otherwise a
+        streamed plan's budget-derived ``batch_rows``; otherwise the
+        ``memory_budget`` directly; otherwise one full-size batch.  Iterating
+        the returned object again starts a new epoch (with a fresh seeded
+        permutation when ``shuffle`` is on).
+        """
+        from repro.core.stream import NormalizedBatchIterator
+
+        batch_size = self.batch_size
+        if batch_size is None and self.plan_ is not None \
+                and self.plan_.chosen.backend == "streamed":
+            batch_size = self.plan_.chosen.batch_rows
+        memory_budget = self.memory_budget if batch_size is None else None
+        return NormalizedBatchIterator(data, target=target, batch_size=batch_size,
+                                       shuffle=self.shuffle, seed=self.seed,
+                                       memory_budget=memory_budget)
+
+    def _dispatch_batch(self, batch_data):
+        """Shard one mini-batch for the parallel backend when ``n_jobs > 1``."""
+        return shard_for_jobs(batch_data, self.n_jobs)
 
     def _lazy_data(self, data):
         """Lazy view of *data* for the ``engine="lazy"`` paths.
@@ -304,11 +393,7 @@ def check_rows_match(data, y: np.ndarray, context: str) -> None:
         )
 
 
-def sigmoid(z: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic function."""
-    out = np.empty_like(z, dtype=np.float64)
-    positive = z >= 0
-    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
-    exp_z = np.exp(z[~positive])
-    out[~positive] = exp_z / (1.0 + exp_z)
-    return out
+# Canonical clipped implementations live in repro.ml.metrics; re-exported here
+# because the estimators (and downstream users) historically import them from
+# the base module.
+from repro.ml.metrics import clip_scores, sigmoid  # noqa: E402,F401

@@ -37,15 +37,22 @@ class GNMF(IterativeEstimator):
 
     def __init__(self, rank: int = 5, max_iter: int = 20, seed: Optional[int] = 0,
                  track_history: bool = False, epsilon: float = 1e-12,
-                 engine: str = "eager", n_jobs: Optional[int] = None):
+                 engine: str = "eager", n_jobs: Optional[int] = None,
+                 solver: str = "batch", batch_size: Optional[int] = None,
+                 shuffle: bool = False, memory_budget: Optional[float] = None):
         super().__init__(max_iter=max_iter, step_size=1.0, seed=seed,
-                         track_history=track_history, engine=engine, n_jobs=n_jobs)
+                         track_history=track_history, engine=engine, n_jobs=n_jobs,
+                         solver=solver, batch_size=batch_size, shuffle=shuffle,
+                         memory_budget=memory_budget)
         if rank <= 0:
             raise ValueError("rank must be positive")
         self.rank = int(rank)
         self.epsilon = float(epsilon)
         self.w_: Optional[np.ndarray] = None
         self.h_: Optional[np.ndarray] = None
+        #: persistent RNG of the standalone partial_fit stream (appends W rows
+        #: for never-before-seen batches); reset when h_ is None.
+        self._stream_rng: Optional[np.random.Generator] = None
 
     def _initial_factors(self, n: int, d: int) -> Tuple[np.ndarray, np.ndarray]:
         rng = self._rng()
@@ -73,6 +80,10 @@ class GNMF(IterativeEstimator):
 
         self.history_ = []
         self.lazy_cache_ = None
+
+        if self._use_minibatch():
+            return self._fit_sgd(unwrap_lazy(data), w, h)
+
         if engine == "lazy":
             # Both numerators run through the lazy layer; the transposed view
             # of the data matrix is the join-invariant node reused (as a cache
@@ -110,6 +121,92 @@ class GNMF(IterativeEstimator):
 
         self.w_ = w
         self.h_ = h
+        return self
+
+    def _minibatch_step(self, data, w_rows: np.ndarray):
+        """One multiplicative update restricted to a batch.
+
+        Updates the global topic matrix ``H`` from the batch's statistics,
+        then the batch's own ``W`` rows against the new ``H``; returns the
+        updated rows.  With one batch covering every row this is exactly one
+        full multiplicative iteration.
+        """
+        numerator_h = to_dense_result(data.T @ w_rows)
+        denominator_h = self.h_ @ la_ops.crossprod(w_rows) + self.epsilon
+        self.h_ = self.h_ * numerator_h / denominator_h
+        numerator_w = to_dense_result(data @ self.h_)
+        denominator_w = w_rows @ la_ops.crossprod(self.h_) + self.epsilon
+        return w_rows * numerator_w / denominator_w
+
+    def _fit_sgd(self, data, w: np.ndarray, h: np.ndarray) -> "GNMF":
+        """Mini-batch GNMF: epochs of per-batch multiplicative updates.
+
+        ``W`` rows are updated in place batch by batch (each row belongs to
+        exactly one batch per epoch), ``H`` accumulates every batch's
+        contribution; factors initialize exactly like the batch solver, so
+        one full-size batch reproduces it bit for bit.
+        """
+        self.w_, self.h_ = w, h
+        batches = self._stream_batches(data)
+        for _ in range(self.max_iter):
+            for batch in batches:
+                rows = batch.indices
+                self.w_[rows] = self._minibatch_step(
+                    self._dispatch_batch(batch.data), self.w_[rows])
+            if self.track_history:
+                self.history_.append(
+                    self._objective_streamed(data, batches.batch_size))
+        return self
+
+    def _objective_streamed(self, data, batch_size: int) -> float:
+        """Squared Frobenius reconstruction error, one batch at a time.
+
+        Uses its own unshuffled iterator: tracking must be purely
+        observational, and re-iterating the training iterator would consume an
+        extra shuffle permutation per epoch and change the learned factors.
+        """
+        from repro.core.stream import NormalizedBatchIterator
+
+        total = 0.0
+        for batch in NormalizedBatchIterator(data, batch_size=batch_size):
+            dense = (batch.data.to_dense() if hasattr(batch.data, "to_dense")
+                     else np.asarray(batch.data))
+            total += float(np.linalg.norm(dense - self.w_[batch.indices] @ self.h_.T) ** 2)
+        return total
+
+    def partial_fit(self, data, row_indices=None) -> "GNMF":
+        """One incremental multiplicative update on a single mini-batch.
+
+        With *row_indices* the batch updates those rows of ``w_`` (the sgd
+        fit path; indices come from the batch iterator).  Without indices the
+        batch is treated as **new** rows of a growing stream: fresh ``W``
+        rows are drawn from the persistent seeded RNG, updated against the
+        batch, and appended -- which is how the chunk-wise CSV ingestion
+        trains GNMF on an entity table that is never fully resident.  ``H``
+        initializes from the seeded RNG on the first call (the feature count
+        comes from the batch).
+        """
+        data = self._dispatch_batch(unwrap_lazy(data))
+        n_b, d = data.shape
+        if self.h_ is None:
+            self._stream_rng = self._rng()
+            self.h_ = self._stream_rng.uniform(0.1, 1.0, size=(d, self.rank))
+            if self.w_ is None:
+                self.w_ = np.zeros((0, self.rank))
+        if self.h_.shape[0] != d:
+            raise ValueError(
+                f"batch has {d} features but the learned H has {self.h_.shape[0]} rows"
+            )
+        if row_indices is None:
+            if self._stream_rng is None:
+                self._stream_rng = self._rng()
+            w_rows = self._stream_rng.uniform(0.1, 1.0, size=(n_b, self.rank))
+            self.w_ = np.vstack([self.w_, self._minibatch_step(data, w_rows)])
+            return self
+        rows = np.asarray(row_indices, dtype=np.int64).ravel()
+        if rows.shape[0] != n_b:
+            raise ValueError("row_indices must have one entry per batch row")
+        self.w_[rows] = self._minibatch_step(data, self.w_[rows])
         return self
 
     @staticmethod

@@ -44,15 +44,23 @@ class KMeans(IterativeEstimator):
 
     def __init__(self, num_clusters: int = 10, max_iter: int = 20,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 engine: str = "eager", n_jobs: Optional[int] = None):
+                 engine: str = "eager", n_jobs: Optional[int] = None,
+                 solver: str = "batch", batch_size: Optional[int] = None,
+                 shuffle: bool = False, memory_budget: Optional[float] = None):
         super().__init__(max_iter=max_iter, step_size=1.0, seed=seed,
-                         track_history=track_history, engine=engine, n_jobs=n_jobs)
+                         track_history=track_history, engine=engine, n_jobs=n_jobs,
+                         solver=solver, batch_size=batch_size, shuffle=shuffle,
+                         memory_budget=memory_budget)
         if num_clusters <= 0:
             raise ValueError("num_clusters must be positive")
         self.num_clusters = int(num_clusters)
         self.centroids_: Optional[np.ndarray] = None
         self.labels_: Optional[np.ndarray] = None
         self.inertia_: Optional[float] = None
+        #: streaming sufficient statistics (per-cluster sums/counts) of the
+        #: mini-batch path; reset at every sgd epoch (see partial_fit).
+        self._stream_sums: Optional[np.ndarray] = None
+        self._stream_counts: Optional[np.ndarray] = None
 
     def _initial_centroids(self, data) -> np.ndarray:
         """Random Gaussian initialization, seeded so F and M runs coincide."""
@@ -78,6 +86,9 @@ class KMeans(IterativeEstimator):
 
         self.history_ = []
         self.lazy_cache_ = None
+
+        if self._use_minibatch():
+            return self._fit_sgd(unwrap_lazy(data), centroids)
 
         if engine == "lazy":
             # The lazy path writes the invariant terms *inside* the loop and
@@ -136,15 +147,97 @@ class KMeans(IterativeEstimator):
             self.inertia_ = float(np.sum(distances[np.arange(n), self.labels_]))
         return self
 
+    @staticmethod
+    def _distances_to(data, centroids: np.ndarray) -> np.ndarray:
+        """Squared distances of every row of *data* to every centroid column.
+
+        The same ``rowSums(T^2) + |c|^2 - 2 T c`` expansion the batch fit
+        uses, so a mini-batch covering all rows reproduces the full-batch
+        distance matrix bit for bit.
+        """
+        n = data.shape[0]
+        k = centroids.shape[1]
+        point_norms = generic.rowsums(generic.square(data)) @ np.ones((1, k))
+        centroid_norms = np.sum(centroids ** 2, axis=0, keepdims=True)
+        cross_term = to_dense_result((2 * data) @ centroids)
+        return point_norms + np.ones((n, 1)) @ centroid_norms - cross_term
+
+    def _reset_stream(self) -> None:
+        """Forget the accumulated per-cluster sums/counts (new sgd epoch)."""
+        self._stream_sums = None
+        self._stream_counts = None
+
+    def partial_fit(self, data) -> "KMeans":
+        """One incremental mini-batch update of the centroids.
+
+        Assigns the batch rows to the nearest current centroid, folds the
+        batch's per-cluster sums and counts into the streaming statistics
+        accumulated since the last epoch (or :meth:`_reset_stream`), and
+        moves every touched centroid to the mean of the points seen so far;
+        untouched clusters keep their centroid.  Centroids initialize from
+        the seeded RNG on the first call, so factorized and materialized
+        streams start identically.  With one batch covering every row this
+        is exactly one Lloyd iteration.
+        """
+        data = self._dispatch_batch(unwrap_lazy(data))
+        k = self.num_clusters
+        n = data.shape[0]
+        if self.centroids_ is None:
+            self.centroids_ = self._initial_centroids(data)
+        if self._stream_sums is None:
+            self._stream_sums = np.zeros((data.shape[1], k))
+            self._stream_counts = np.zeros((1, k))
+        distances = self._distances_to(data, self.centroids_)
+        labels = np.argmin(distances, axis=1)
+        assignment = np.zeros((n, k))
+        assignment[np.arange(n), labels] = 1.0
+        self._stream_sums = self._stream_sums + to_dense_result(data.T @ assignment)
+        self._stream_counts = self._stream_counts + assignment.sum(axis=0, keepdims=True)
+        counts = self._stream_counts
+        safe_counts = np.where(counts > 0, counts, 1.0)
+        updated = self._stream_sums / safe_counts
+        self.centroids_ = np.where(counts > 0, updated, self.centroids_)
+        self.labels_ = labels
+        self._last_batch_inertia = float(np.sum(distances[np.arange(n), labels]))
+        return self
+
+    def _fit_sgd(self, data, centroids: np.ndarray) -> "KMeans":
+        """Mini-batch K-Means: ``max_iter`` epochs of streamed Lloyd updates.
+
+        Every epoch resets the streaming statistics and replays the batches
+        through :meth:`partial_fit`; a final streaming pass assigns every row
+        under the learned centroids (so ``labels_``/``inertia_`` reflect the
+        *final* model -- the batch solver reports the assignment of its last
+        iteration's distance matrix instead).
+        """
+        self.centroids_ = centroids
+        batches = self._stream_batches(data)
+        for _ in range(self.max_iter):
+            self._reset_stream()
+            epoch_inertia = 0.0
+            for batch in batches:
+                self.partial_fit(batch.data)
+                epoch_inertia += self._last_batch_inertia
+            if self.track_history:
+                self.history_.append(epoch_inertia)
+        # Final streamed assignment pass (fixed centroids, original row order).
+        labels = np.empty(data.shape[0], dtype=np.int64)
+        inertia = 0.0
+        from repro.core.stream import NormalizedBatchIterator
+
+        for batch in NormalizedBatchIterator(data, batch_size=batches.batch_size):
+            distances = self._distances_to(self._dispatch_batch(batch.data),
+                                           self.centroids_)
+            batch_labels = np.argmin(distances, axis=1)
+            labels[batch.indices] = batch_labels
+            inertia += float(np.sum(distances[np.arange(batch.num_rows), batch_labels]))
+        self.labels_ = labels
+        self.inertia_ = inertia
+        return self
+
     def predict(self, data) -> np.ndarray:
         """Assign new rows to the nearest learned centroid."""
         if self.centroids_ is None:
             raise RuntimeError("model is not fitted")
-        data = unwrap_lazy(data)
-        n = data.shape[0]
-        k = self.num_clusters
-        point_norms = generic.rowsums(generic.square(data)) @ np.ones((1, k))
-        centroid_norms = np.sum(self.centroids_ ** 2, axis=0, keepdims=True)
-        cross_term = to_dense_result((2 * data) @ self.centroids_)
-        distances = point_norms + np.ones((n, 1)) @ centroid_norms - cross_term
+        distances = self._distances_to(unwrap_lazy(data), self.centroids_)
         return np.argmin(distances, axis=1)

@@ -75,9 +75,13 @@ class LinearRegressionGD(IterativeEstimator):
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-6,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 engine: str = "eager", n_jobs: Optional[int] = None):
+                 engine: str = "eager", n_jobs: Optional[int] = None,
+                 solver: str = "batch", batch_size: Optional[int] = None,
+                 shuffle: bool = False, memory_budget: Optional[float] = None):
         super().__init__(max_iter=max_iter, step_size=step_size, seed=seed,
-                         track_history=track_history, engine=engine, n_jobs=n_jobs)
+                         track_history=track_history, engine=engine, n_jobs=n_jobs,
+                         solver=solver, batch_size=batch_size, shuffle=shuffle,
+                         memory_budget=memory_budget)
         self.coef_: Optional[np.ndarray] = None
 
     def _workload_descriptor(self):
@@ -94,6 +98,8 @@ class LinearRegressionGD(IterativeEstimator):
         w = as_column(initial_weights).copy() if initial_weights is not None else np.zeros((d, 1))
         self.history_ = []
         self.lazy_cache_ = None
+        if self._use_minibatch():
+            return self._fit_sgd(unwrap_lazy(data), y, w)
         if engine == "lazy":
             # Hand the original operand over: a lazy view keeps its attached
             # FactorizedCache (as_lazy passes views through unchanged).
@@ -106,6 +112,53 @@ class LinearRegressionGD(IterativeEstimator):
             if self.track_history:
                 self.history_.append(float(np.sum(residual ** 2)))
         self.coef_ = w
+        return self
+
+    def _minibatch_step(self, data, y: np.ndarray, w: np.ndarray):
+        """One mini-batch gradient step; returns the new weights and the batch SSE."""
+        residual = to_dense_result(data @ w) - y
+        gradient = to_dense_result(data.T @ residual)
+        return w - self.step_size * gradient, float(np.sum(residual ** 2))
+
+    def _fit_sgd(self, data, y: np.ndarray, w: np.ndarray) -> "LinearRegressionGD":
+        """Mini-batch SGD: ``max_iter`` epochs over factorized row batches.
+
+        Each batch of a normalized matrix is a ``take_rows`` slice (attribute
+        tables shared), so an epoch streams the base matrices without ever
+        materializing the join; one epoch at ``batch_size >= n_rows`` is the
+        full-batch update bit for bit.
+        """
+        batches = self._stream_batches(data, y)
+        for _ in range(self.max_iter):
+            epoch_sse = 0.0
+            for batch in batches:
+                w, sse = self._minibatch_step(self._dispatch_batch(batch.data),
+                                              batch.target, w)
+                epoch_sse += sse
+            if self.track_history:
+                self.history_.append(epoch_sse)
+        self.coef_ = w
+        return self
+
+    def partial_fit(self, data, target) -> "LinearRegressionGD":
+        """One incremental gradient step on a single mini-batch.
+
+        Initializes ``coef_`` to zeros on the first call (the feature count
+        comes from the batch) and applies one update of the Algorithm 11 rule
+        restricted to the batch.  *data* may be a factorized batch (a
+        ``take_rows`` slice, as yielded by
+        :class:`~repro.core.stream.NormalizedBatchIterator` or the chunk-wise
+        CSV reader) or a plain row slice -- the two match to numerical
+        precision, which the equivalence suite checks.
+        """
+        data = self._dispatch_batch(unwrap_lazy(data))
+        y = as_column(target)
+        check_rows_match(data, y, "LinearRegressionGD.partial_fit")
+        if self.coef_ is None:
+            self.coef_ = np.zeros((data.shape[1], 1))
+        self.coef_, sse = self._minibatch_step(data, y, self.coef_)
+        if self.track_history:
+            self.history_.append(sse)
         return self
 
     def _fit_lazy(self, data, y: np.ndarray, w: np.ndarray) -> "LinearRegressionGD":

@@ -26,6 +26,7 @@ from repro.ml.base import (
     IterativeEstimator,
     as_column,
     check_rows_match,
+    clip_scores,
     sigmoid,
     unwrap_lazy,
 )
@@ -44,9 +45,13 @@ class LogisticRegressionGD(IterativeEstimator):
 
     def __init__(self, max_iter: int = 20, step_size: float = 1e-4,
                  seed: Optional[int] = 0, track_history: bool = False,
-                 update: str = "paper", engine: str = "eager", n_jobs: Optional[int] = None):
+                 update: str = "paper", engine: str = "eager", n_jobs: Optional[int] = None,
+                 solver: str = "batch", batch_size: Optional[int] = None,
+                 shuffle: bool = False, memory_budget: Optional[float] = None):
         super().__init__(max_iter=max_iter, step_size=step_size, seed=seed,
-                         track_history=track_history, engine=engine, n_jobs=n_jobs)
+                         track_history=track_history, engine=engine, n_jobs=n_jobs,
+                         solver=solver, batch_size=batch_size, shuffle=shuffle,
+                         memory_budget=memory_budget)
         if update not in ("paper", "exact"):
             raise ValueError("update must be 'paper' or 'exact'")
         self.update = update
@@ -75,6 +80,9 @@ class LogisticRegressionGD(IterativeEstimator):
         alpha = self.step_size
         self.history_ = []
         self.lazy_cache_ = None
+
+        if self._use_minibatch():
+            return self._fit_sgd(unwrap_lazy(data), y, w)
 
         if engine == "lazy":
             # Logistic regression has no data-sized join-invariant term (the
@@ -105,9 +113,9 @@ class LogisticRegressionGD(IterativeEstimator):
             # Clip the exponent to keep exp finite; beyond +/-500 the factor is
             # numerically 0 or 1 anyway, so the update is unchanged.
             if self.update == "paper":
-                p = y / (1.0 + np.exp(np.clip(scores, -500.0, 500.0)))
+                p = y / (1.0 + np.exp(clip_scores(scores)))
             else:
-                p = y / (1.0 + np.exp(np.clip(y * scores, -500.0, 500.0)))
+                p = y / (1.0 + np.exp(clip_scores(y * scores)))
             w = w + alpha * gradient_for(p)
             if self.track_history:
                 self.history_.append(self._negative_log_likelihood(scores, y))
@@ -115,10 +123,52 @@ class LogisticRegressionGD(IterativeEstimator):
         self.coef_ = w
         return self
 
+    def _minibatch_step(self, data, y: np.ndarray, w: np.ndarray):
+        """One mini-batch ascent step; returns the new weights and the batch scores."""
+        scores = to_dense_result(data @ w)
+        if self.update == "paper":
+            p = y / (1.0 + np.exp(clip_scores(scores)))
+        else:
+            p = y / (1.0 + np.exp(clip_scores(y * scores)))
+        w = w + self.step_size * to_dense_result(data.T @ p)
+        return w, scores
+
+    def _fit_sgd(self, data, y: np.ndarray, w: np.ndarray) -> "LogisticRegressionGD":
+        """Mini-batch SGD over factorized row batches; see
+        :meth:`LinearRegressionGD._fit_sgd` for the streaming contract."""
+        batches = self._stream_batches(data, y)
+        for _ in range(self.max_iter):
+            epoch_nll = 0.0
+            for batch in batches:
+                w, scores = self._minibatch_step(self._dispatch_batch(batch.data),
+                                                 batch.target, w)
+                if self.track_history:
+                    epoch_nll += self._negative_log_likelihood(scores, batch.target)
+            if self.track_history:
+                self.history_.append(epoch_nll)
+        self.coef_ = w
+        return self
+
+    def partial_fit(self, data, target) -> "LogisticRegressionGD":
+        """One incremental ascent step on a single mini-batch (labels in ``{-1, +1}``).
+
+        Initializes ``coef_`` to zeros on the first call; factorized and
+        materialized batches produce matching updates to numerical precision.
+        """
+        data = self._dispatch_batch(unwrap_lazy(data))
+        y = as_column(target)
+        check_rows_match(data, y, "LogisticRegressionGD.partial_fit")
+        if self.coef_ is None:
+            self.coef_ = np.zeros((data.shape[1], 1))
+        self.coef_, scores = self._minibatch_step(data, y, self.coef_)
+        if self.track_history:
+            self.history_.append(self._negative_log_likelihood(scores, y))
+        return self
+
     @staticmethod
     def _negative_log_likelihood(scores: np.ndarray, y: np.ndarray) -> float:
         margins = y * scores
-        return float(np.sum(np.log1p(np.exp(-np.clip(margins, -500, 500)))))
+        return float(np.sum(np.log1p(np.exp(-clip_scores(margins)))))
 
     def decision_function(self, data) -> np.ndarray:
         """Raw scores ``T w`` for the given data matrix."""

@@ -12,6 +12,39 @@ import numpy as np
 
 from repro.exceptions import ShapeError
 
+#: Raw-score magnitude beyond which ``exp`` saturates to 0/1 in float64 anyway;
+#: the single clipping constant shared by the logistic fit loops, the streaming
+#: ``partial_fit`` paths and ``predict_proba``.
+SCORE_CLIP = 500.0
+
+
+def clip_scores(scores, limit: float = SCORE_CLIP) -> np.ndarray:
+    """Clamp raw model scores to ``[-limit, +limit]`` before exponentiation.
+
+    Both the gradient loops and the probability/loss metrics exponentiate raw
+    scores; clipping in one shared helper keeps them numerically consistent --
+    an extreme score produces the same saturated probability everywhere
+    instead of an overflow warning in one code path and a silent ``inf`` in
+    another.
+    """
+    return np.clip(np.asarray(scores, dtype=np.float64), -limit, limit)
+
+
+def sigmoid(z) -> np.ndarray:
+    """Numerically stable logistic function on clipped scores.
+
+    The split between positive and negative arguments keeps every ``exp``
+    argument non-positive, and :func:`clip_scores` bounds the input first, so
+    no input -- however extreme -- emits overflow warnings or returns NaN.
+    """
+    z = clip_scores(z)
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
 
 def _flatten_pair(y_true, y_pred) -> tuple:
     a = np.asarray(y_true, dtype=np.float64).ravel()

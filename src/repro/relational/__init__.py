@@ -32,7 +32,12 @@ from repro.relational.join import (
     drop_unreferenced,
 )
 from repro.relational.encoding import OneHotEncoder, encode_features, FeatureMatrix
-from repro.relational.csv_io import read_csv, write_csv
+from repro.relational.csv_io import (
+    read_csv,
+    read_csv_chunks,
+    stream_normalized_batches,
+    write_csv,
+)
 from repro.relational.pipeline import (
     NormalizedDataset,
     normalized_from_tables,
@@ -57,6 +62,8 @@ __all__ = [
     "encode_features",
     "FeatureMatrix",
     "read_csv",
+    "read_csv_chunks",
+    "stream_normalized_batches",
     "write_csv",
     "NormalizedDataset",
     "normalized_from_tables",

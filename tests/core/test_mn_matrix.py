@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.mn_matrix import MNNormalizedMatrix
-from repro.exceptions import IndicatorError, ShapeError
+from repro.exceptions import IndicatorError, NotSupportedError, ShapeError
 from repro.la.ops import indicator_from_labels
 
 
@@ -222,3 +222,60 @@ class TestTransposeFlag:
     def test_transposed_materialize(self, mn_dataset):
         _, normalized, materialized = mn_dataset
         assert np.allclose(normalized.T.to_dense(), materialized.T)
+
+
+class TestMNTakeRows:
+    """Regression: M:N matrices lacked take_rows, so splits/batching silently
+    only worked on star schemas."""
+
+    def test_selected_rows_match_materialized(self, mn_dataset):
+        _, normalized, materialized = mn_dataset
+        indices = np.array([0, 5, 9, 17, 3])
+        subset = normalized.take_rows(indices)
+        assert type(subset) is type(normalized)
+        assert np.allclose(subset.to_dense(), materialized[indices, :])
+
+    def test_multi_component(self, mn_multi_component):
+        normalized, materialized = mn_multi_component
+        indices = np.arange(0, materialized.shape[0], 3)
+        assert np.allclose(normalized.take_rows(indices).to_dense(), materialized[indices, :])
+
+    def test_boolean_mask(self, mn_dataset):
+        _, normalized, materialized = mn_dataset
+        mask = np.zeros(materialized.shape[0], dtype=bool)
+        mask[::4] = True
+        assert np.allclose(normalized.take_rows(mask).to_dense(), materialized[mask, :])
+
+    def test_duplicate_and_reordered_rows(self, mn_dataset):
+        _, normalized, materialized = mn_dataset
+        indices = np.array([7, 7, 1, 0])
+        assert np.allclose(normalized.take_rows(indices).to_dense(), materialized[indices, :])
+
+    def test_component_tables_are_shared(self, mn_dataset):
+        _, normalized, _ = mn_dataset
+        subset = normalized.take_rows(np.array([0, 1, 2]))
+        assert all(a is b for a, b in zip(subset.attributes, normalized.attributes))
+
+    def test_out_of_range_rejected(self, mn_dataset):
+        _, normalized, _ = mn_dataset
+        with pytest.raises(ShapeError):
+            normalized.take_rows(np.array([0, normalized.shape[0]]))
+
+    def test_wrong_mask_length_rejected(self, mn_dataset):
+        _, normalized, _ = mn_dataset
+        with pytest.raises(ShapeError):
+            normalized.take_rows(np.zeros(3, dtype=bool))
+
+    def test_transposed_rejected(self, mn_dataset):
+        _, normalized, _ = mn_dataset
+        with pytest.raises(NotSupportedError):
+            normalized.T.take_rows(np.array([0]))
+
+    def test_operators_on_subset_stay_factorized(self, mn_dataset, rng):
+        _, normalized, materialized = mn_dataset
+        indices = np.array([2, 4, 6, 8, 10])
+        subset = normalized.take_rows(indices)
+        x = rng.standard_normal((materialized.shape[1], 2))
+        assert np.allclose(subset @ x, materialized[indices] @ x)
+        assert np.allclose(subset.crossprod(),
+                           materialized[indices].T @ materialized[indices])

@@ -84,6 +84,36 @@ class TestCalibrationProfile:
         assert not (tmp_path / "calib.json").exists()
         reset_profile_cache()
 
+    def test_save_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        # Regression: save() used to write the cache file in place, so a
+        # concurrent reader could observe a torn JSON document.
+        profile = CalibrationProfile.default()
+        path = tmp_path / "nested" / "calibration.json"
+        profile.save(path)
+        profile.save(path)  # overwrite path exercises os.replace on existing
+        assert CalibrationProfile.load(path) == profile
+        leftovers = [p for p in path.parent.iterdir() if p.name != path.name]
+        assert leftovers == []
+
+    def test_torn_cache_file_triggers_reprobe(self, monkeypatch, tmp_path):
+        # A corrupt (half-written) cache must not crash get_profile in auto
+        # mode -- it re-probes and rewrites the cache.
+        from repro.core.planner import get_profile, reset_profile_cache
+        from repro.core.planner import calibration as calibration_module
+
+        cache = tmp_path / "calibration.json"
+        cache.write_text('{"version": 2, "dense_flops": 2.5e9, "spar')  # torn
+        monkeypatch.setenv("REPRO_CALIBRATION", "auto")
+        monkeypatch.setenv("REPRO_CALIBRATION_CACHE", str(cache))
+        probed = CalibrationProfile.default()
+        monkeypatch.setattr(calibration_module, "probe", lambda: probed)
+        reset_profile_cache()
+        try:
+            assert get_profile() == probed
+            assert CalibrationProfile.load(cache) == probed  # cache repaired
+        finally:
+            reset_profile_cache()
+
     def test_probe_produces_positive_constants(self):
         from repro.core.planner import probe
 

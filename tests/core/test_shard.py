@@ -47,9 +47,34 @@ class TestShardBounds:
 
     def test_invalid_inputs(self):
         with pytest.raises(ShapeError):
-            shard_bounds(0, 2)
+            shard_bounds(-1, 2)
         with pytest.raises(ValueError):
             shard_bounds(5, 0)
+
+    def test_zero_rows_yield_a_single_empty_shard(self):
+        # Regression: divmod(0, min(k, 0)) used to raise instead of degrading
+        # to an empty partition.
+        for n_shards in (1, 2, 8):
+            assert shard_bounds(0, n_shards) == [(0, 0)]
+
+    def test_zero_row_sharded_matrix(self):
+        empty = np.zeros((0, 4))
+        sharded = ShardedMatrix.from_matrix(empty, 3)
+        assert sharded.shape == (0, 4)
+        assert sharded.num_shards == 1
+        assert sharded.colsums().shape == (1, 4)
+        assert np.allclose(sharded.crossprod(), np.zeros((4, 4)))
+        assert sharded.to_dense().shape == (0, 4)
+
+    def test_zero_row_normalized_shard(self):
+        attribute = np.arange(6.0).reshape(3, 2)
+        indicator = sp.csr_matrix((0, 3))
+        normalized = NormalizedMatrix(np.zeros((0, 2)), [indicator], [attribute],
+                                      validate=False)
+        sharded = normalized.shard(4)
+        assert sharded.shape == (0, 4)
+        assert sharded.num_shards == 1
+        assert np.allclose(sharded.crossprod(), np.zeros((4, 4)))
 
 
 class TestPools:

@@ -1,5 +1,7 @@
 """Tests for the evaluation metrics in :mod:`repro.ml.metrics`."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -109,3 +111,55 @@ class TestClusteringAndFactorizationMetrics:
         h = np.zeros((materialized.shape[1], 2))
         assert metrics.reconstruction_error(normalized, w, h) == pytest.approx(
             np.linalg.norm(materialized))
+
+
+class TestScoreClipping:
+    """Regression: probability/loss paths clipped inconsistently with the fit
+    loops, so extreme scores overflowed in predict_proba but not in fit."""
+
+    def test_clip_scores_bounds(self):
+        clipped = metrics.clip_scores(np.array([-1e9, -1.0, 0.0, 2.0, 1e9]))
+        assert clipped.min() == -metrics.SCORE_CLIP
+        assert clipped.max() == metrics.SCORE_CLIP
+        assert np.array_equal(clipped[1:4], [-1.0, 0.0, 2.0])
+
+    def test_sigmoid_saturates_without_warnings(self):
+        extreme = np.array([-1e12, -800.0, 0.0, 800.0, 1e12])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any overflow warning fails the test
+            probs = metrics.sigmoid(extreme)
+        assert np.all(np.isfinite(probs))
+        assert probs[0] == pytest.approx(0.0)
+        assert probs[2] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_sigmoid_matches_reference_in_normal_range(self):
+        z = np.linspace(-30, 30, 101)
+        assert np.allclose(metrics.sigmoid(z), 1.0 / (1.0 + np.exp(-z)))
+
+    def test_base_module_reexports_shared_helpers(self):
+        from repro.ml import base
+
+        assert base.sigmoid is metrics.sigmoid
+        assert base.clip_scores is metrics.clip_scores
+
+    def test_predict_proba_on_extreme_scores_is_finite(self):
+        from repro.ml import LogisticRegressionGD
+
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((40, 3)) * 1e6  # enormous raw scores
+        labels = np.where(rng.standard_normal(40) > 0, 1.0, -1.0)
+        model = LogisticRegressionGD(max_iter=2, step_size=1.0)
+        model.fit(data, labels)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            probs = model.predict_proba(data)
+            loss = metrics.log_loss(labels, probs)
+        assert np.all(np.isfinite(probs))
+        assert np.isfinite(loss)
+
+    def test_log_loss_handles_saturated_probabilities(self):
+        # sigmoid saturates to exact 0.0/1.0; log_loss must not produce log(0).
+        labels = np.array([1.0, -1.0, 1.0, -1.0])
+        probs = np.array([1.0, 0.0, 0.0, 1.0])
+        assert np.isfinite(metrics.log_loss(labels, probs))

@@ -12,7 +12,10 @@ reference computed on the materialized ``T`` to within ``1e-8``:
 * ``sharded``             -- the parallel factorized
   :class:`ShardedNormalizedMatrix` (random shard count, serial and thread
   pools);
-* ``sharded-matrix``      -- the parallel plain :class:`ShardedMatrix`.
+* ``sharded-matrix``      -- the parallel plain :class:`ShardedMatrix`;
+* ``streamed``            -- the out-of-core :class:`StreamedMatrix`
+  (random batch size), whose operators visit the factorized operand one
+  ``take_rows`` batch at a time.
 
 Each backend sees ``CASES_PER_BACKEND`` generated cases (>= 200), split into
 batches so a failure pinpoints its seed range; the failing seed is embedded
@@ -32,13 +35,15 @@ import scipy.sparse as sp
 from repro.core.mn_matrix import MNNormalizedMatrix
 from repro.core.normalized_matrix import NormalizedMatrix
 from repro.core.shard import ShardedMatrix
+from repro.core.stream import StreamedMatrix
 from repro.la.chunked import ChunkedMatrix
 from repro.la.ops import indicator_from_labels
 
 ATOL = 1e-8
 RTOL = 1e-8
 
-BACKENDS = ("normalized-dense", "normalized-sparse", "chunked", "sharded", "sharded-matrix")
+BACKENDS = ("normalized-dense", "normalized-sparse", "chunked", "sharded",
+            "sharded-matrix", "streamed")
 BATCHES = 20
 CASES_PER_BATCH = 10
 CASES_PER_BACKEND = BATCHES * CASES_PER_BATCH  # 200 generated cases per backend
@@ -139,6 +144,9 @@ def build_view(backend: str, case: Case, rng: np.random.Generator):
     if backend == "sharded-matrix":
         n_shards = int(rng.integers(1, 7))
         return ShardedMatrix.from_matrix(case.dense, n_shards, pool="serial")
+    if backend == "streamed":
+        batch_rows = int(rng.integers(1, case.dense.shape[0] + 1))
+        return StreamedMatrix(case.normalized, batch_rows=batch_rows)
     raise AssertionError(f"unknown backend {backend!r}")
 
 

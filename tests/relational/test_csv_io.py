@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SchemaError
-from repro.relational.csv_io import read_csv, write_csv
+from repro.relational.csv_io import (
+    read_csv,
+    read_csv_chunks,
+    stream_normalized_batches,
+    write_csv,
+)
 from repro.relational.table import Table
 
 
@@ -79,3 +84,190 @@ class TestWriteCsv:
         path = tmp_path / "out.csv"
         write_csv(table, path)
         assert path.read_text().splitlines()[0] == "a"
+
+
+def _star_fixture(rng):
+    """A small star schema: attribute table in memory, entity table as rows."""
+    n_r, n_s = 8, 50
+    attribute = Table("attr", {
+        "pk": np.arange(n_r).astype(float),
+        "price": rng.standard_normal(n_r),
+        "cat": np.asarray([f"c{i % 3}" for i in range(n_r)], dtype=object),
+    })
+    fk = np.concatenate([np.arange(n_r), rng.integers(0, n_r, size=n_s - n_r)])
+    rng.shuffle(fk)
+    entity = Table("entity", {
+        "fk": fk.astype(float),
+        "amount": rng.standard_normal(n_s),
+        "label": np.where(rng.standard_normal(n_s) > 0, 1.0, -1.0),
+    })
+    return entity, attribute
+
+
+class TestReadCsvChunks:
+    def test_chunks_cover_the_file(self, tmp_path):
+        rng = np.random.default_rng(0)
+        entity, _ = _star_fixture(rng)
+        path = tmp_path / "entity.csv"
+        write_csv(entity, path)
+        chunks = list(read_csv_chunks(path, 13))
+        assert sum(c.num_rows for c in chunks) == entity.num_rows
+        assert all(c.num_rows <= 13 for c in chunks)
+        stitched = np.concatenate([c.column("amount") for c in chunks])
+        assert np.allclose(stitched, entity.column("amount"))
+
+    def test_exact_multiple_chunking(self, tmp_path):
+        rng = np.random.default_rng(1)
+        entity, _ = _star_fixture(rng)
+        path = tmp_path / "entity.csv"
+        write_csv(entity, path)
+        chunks = list(read_csv_chunks(path, 25))
+        assert [c.num_rows for c in chunks] == [25, 25]
+
+    def test_numeric_columns_pinned(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,x\n2,y\n")
+        (chunk,) = read_csv_chunks(path, 10, numeric_columns=["a"])
+        assert np.issubdtype(chunk.column("a").dtype, np.number)
+        assert chunk.column("b").dtype == object
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            list(read_csv_chunks(path, 10))
+
+    def test_header_only_yields_nothing(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        assert list(read_csv_chunks(path, 10)) == []
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError):
+            list(read_csv_chunks(path, 10))
+
+    def test_invalid_chunk_rows(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(ValueError):
+            list(read_csv_chunks(path, 0))
+
+
+class TestStreamNormalizedBatches:
+    def test_batches_match_in_memory_pipeline(self, tmp_path):
+        from repro.relational.pipeline import normalized_from_tables
+
+        rng = np.random.default_rng(2)
+        entity, attribute = _star_fixture(rng)
+        path = tmp_path / "entity.csv"
+        write_csv(entity, path)
+        edges = [("fk", attribute, "pk", ["price", "cat"])]
+        reference = normalized_from_tables(entity, edges, entity_features=["amount"],
+                                           target_column="label")
+        ref_dense = np.asarray(reference.matrix.to_dense())
+        parts, targets = [], []
+        for batch in stream_normalized_batches(path, edges, entity_features=["amount"],
+                                               target_column="label", chunk_rows=13):
+            assert batch.is_factorized
+            assert batch.matrix.shape[0] <= 13
+            assert batch.feature_names == reference.feature_names
+            parts.append(np.asarray(batch.matrix.to_dense()))
+            targets.append(batch.target)
+        assert np.allclose(np.vstack(parts), ref_dense)
+        assert np.allclose(np.vstack(targets), reference.target)
+
+    def test_attribute_matrices_shared_across_batches(self, tmp_path):
+        rng = np.random.default_rng(3)
+        entity, attribute = _star_fixture(rng)
+        path = tmp_path / "entity.csv"
+        write_csv(entity, path)
+        edges = [("fk", attribute, "pk", ["price", "cat"])]
+        matrices = [b.matrix for b in stream_normalized_batches(path, edges,
+                                                                chunk_rows=13)]
+        first = matrices[0].attributes[0]
+        assert all(m.attributes[0] is first for m in matrices)
+
+    def test_memory_budget_sizes_chunks(self, tmp_path):
+        rng = np.random.default_rng(4)
+        entity, attribute = _star_fixture(rng)
+        path = tmp_path / "entity.csv"
+        write_csv(entity, path)
+        edges = [("fk", attribute, "pk", ["price", "cat"])]
+        d = 1 + 1 + 3  # amount + price + one-hot(cat)
+        budget = 11 * d * 8
+        sizes = [b.matrix.shape[0] for b in stream_normalized_batches(
+            path, edges, entity_features=["amount"], memory_budget=budget)]
+        assert len(sizes) > 1
+        assert all(s * d * 8 <= budget + d * 8 for s in sizes)
+
+    def test_partial_fit_over_the_stream(self, tmp_path):
+        from repro.ml import LogisticRegressionGD
+
+        rng = np.random.default_rng(5)
+        entity, attribute = _star_fixture(rng)
+        path = tmp_path / "entity.csv"
+        write_csv(entity, path)
+        edges = [("fk", attribute, "pk", ["price", "cat"])]
+        model = LogisticRegressionGD(step_size=1e-2)
+        for batch in stream_normalized_batches(path, edges, entity_features=["amount"],
+                                               target_column="label", chunk_rows=17):
+            model.partial_fit(batch.matrix, batch.target)
+        assert model.coef_ is not None
+        assert np.all(np.isfinite(model.coef_))
+
+    def test_categorical_entity_feature_rejected(self, tmp_path):
+        rng = np.random.default_rng(6)
+        entity, attribute = _star_fixture(rng)
+        columns = {name: entity.column(name) for name in entity.column_names}
+        columns["city"] = np.asarray(
+            ["a" if i % 2 else "b" for i in range(entity.num_rows)], dtype=object)
+        entity = Table("entity", columns)
+        path = tmp_path / "entity.csv"
+        write_csv(entity, path)
+        edges = [("fk", attribute, "pk", ["price"])]
+        with pytest.raises(SchemaError):
+            list(stream_normalized_batches(path, edges, entity_features=["city"]))
+
+    def test_no_edges_rejected(self, tmp_path):
+        path = tmp_path / "entity.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(SchemaError):
+            list(stream_normalized_batches(path, []))
+
+    def test_string_primary_keys_survive_chunking(self, tmp_path):
+        # Regression: per-chunk type inference used to float-coerce a chunk
+        # whose fk values all looked numeric, so string PKs never matched.
+        attribute = Table("attr", {
+            "pk": np.asarray(["1", "2", "x9"], dtype=object),
+            "price": np.asarray([1.0, 2.0, 3.0]),
+        })
+        entity = Table("entity", {
+            "fk": np.asarray(["1", "2", "1", "x9", "2", "1"], dtype=object),
+            "amount": np.arange(6.0),
+        })
+        path = tmp_path / "entity.csv"
+        write_csv(entity, path)
+        edges = [("fk", attribute, "pk", ["price"])]
+        # chunk_rows=2: the first chunks contain only numeric-looking keys.
+        batches = list(stream_normalized_batches(path, edges,
+                                                 entity_features=["amount"],
+                                                 chunk_rows=2))
+        from repro.relational.pipeline import normalized_from_tables
+
+        reference = np.asarray(normalized_from_tables(
+            entity, edges, entity_features=["amount"]).matrix.to_dense())
+        stitched = np.vstack([np.asarray(b.matrix.to_dense()) for b in batches])
+        assert np.allclose(stitched, reference)
+
+    def test_dangling_foreign_key_rejected(self, tmp_path):
+        attribute = Table("attr", {"pk": np.asarray([0.0, 1.0]),
+                                   "price": np.asarray([1.0, 2.0])})
+        entity = Table("entity", {"fk": np.asarray([0.0, 7.0]),
+                                  "amount": np.asarray([1.0, 2.0])})
+        path = tmp_path / "entity.csv"
+        write_csv(entity, path)
+        with pytest.raises(SchemaError, match="no match"):
+            list(stream_normalized_batches(path, [("fk", attribute, "pk", ["price"])],
+                                           chunk_rows=2))
