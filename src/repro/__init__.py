@@ -39,8 +39,9 @@ from repro.ml import (
 )
 from repro.relational import Table, read_csv, read_csv_chunks, stream_normalized_batches
 from repro.la import ChunkedMatrix
+from repro.serve import FactorizedScorer, ModelRegistry, ScoringService
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "NormalizedMatrix",
@@ -64,6 +65,9 @@ __all__ = [
     "GNMF",
     "NormalizedBatchIterator",
     "StreamedMatrix",
+    "FactorizedScorer",
+    "ModelRegistry",
+    "ScoringService",
     "Table",
     "read_csv",
     "read_csv_chunks",

@@ -33,8 +33,10 @@ This package implements the paper's primary contribution:
 from repro.core.indicator import (
     validate_pk_fk_indicator,
     validate_mn_indicator,
+    indicator_codes,
     indicator_stats,
 )
+from repro.core.segments import ColumnSegment, schema_fingerprint
 from repro.core.normalized_matrix import NormalizedMatrix
 from repro.core.mn_matrix import MNNormalizedMatrix
 from repro.core.materialize import materialize
@@ -89,7 +91,10 @@ __all__ = [
     "materialize",
     "validate_pk_fk_indicator",
     "validate_mn_indicator",
+    "indicator_codes",
     "indicator_stats",
+    "ColumnSegment",
+    "schema_fingerprint",
     "OperatorCost",
     "standard_cost",
     "factorized_cost",

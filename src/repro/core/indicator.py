@@ -102,6 +102,25 @@ def validate_mn_indicator(matrix: MatrixLike, require_full_columns: bool = True)
     return csr
 
 
+def indicator_codes(matrix: MatrixLike) -> np.ndarray:
+    """Recover the per-row key codes of an indicator matrix.
+
+    For a valid PK-FK or M:N indicator (exactly one non-zero per row) the
+    code of row ``i`` is the column holding that non-zero -- i.e. the
+    attribute-table row the join routes row ``i`` to.  This is the inverse of
+    :func:`repro.la.ops.indicator_from_labels` and what the serving subsystem
+    gathers precomputed partial scores with.
+    """
+    csr = to_sparse(matrix, "csr")
+    row_counts = np.diff(csr.indptr)
+    if csr.shape[0] and not np.all(row_counts == 1):
+        bad = int(np.argmax(row_counts != 1))
+        raise IndicatorError(
+            f"indicator: row {bad} has {int(row_counts[bad])} non-zeros, expected exactly 1"
+        )
+    return csr.indices.astype(np.int64)
+
+
 def indicator_stats(matrix: MatrixLike) -> IndicatorStats:
     """Compute summary statistics (shape, nnz, per-column fan-out range)."""
     csr = to_sparse(matrix, "csr")

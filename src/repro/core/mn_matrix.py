@@ -113,6 +113,24 @@ class MNNormalizedMatrix:
     def component_widths(self) -> List[int]:
         return [r.shape[1] for r in self.attributes]
 
+    def column_segments(self) -> List["ColumnSegment"]:
+        """Ordered per-component column spans of the logical ``T``.
+
+        One ``"component_i"`` :class:`~repro.core.segments.ColumnSegment`
+        per component table (no entity block -- every M:N component is
+        indicator-routed); the segments partition ``[0, logical_cols)``.
+        """
+        from repro.core.segments import build_segments
+
+        return build_segments(None, self.component_widths, "component")
+
+    @property
+    def n_features_per_table(self) -> dict:
+        """Name -> feature-count mapping of :meth:`column_segments`."""
+        from repro.core.segments import segment_widths
+
+        return segment_widths(self.column_segments())
+
     @property
     def logical_rows(self) -> int:
         return self.indicators[0].shape[0]

@@ -137,6 +137,28 @@ class NormalizedMatrix:
         """Feature counts ``d_{R_1} .. d_{R_q}`` of the attribute tables."""
         return [r.shape[1] for r in self.attributes]
 
+    def column_segments(self) -> List["ColumnSegment"]:
+        """Ordered per-table column spans of the logical ``T``.
+
+        Returns one :class:`~repro.core.segments.ColumnSegment` for the
+        entity block (named ``"entity"``; present whenever the matrix has an
+        entity matrix, even with ``d_S = 0``) followed by one ``"table_i"``
+        segment per attribute table.  The segments partition
+        ``[0, logical_cols)`` and are what the serving subsystem uses to
+        slice a trained weight vector into per-table pieces.
+        """
+        from repro.core.segments import build_segments
+
+        entity_width = self.entity_width if self.entity is not None else None
+        return build_segments(entity_width, self.attribute_widths, "table")
+
+    @property
+    def n_features_per_table(self) -> dict:
+        """Name -> feature-count mapping of :meth:`column_segments`."""
+        from repro.core.segments import segment_widths
+
+        return segment_widths(self.column_segments())
+
     @property
     def logical_rows(self) -> int:
         """Number of rows of the untransposed ``T`` (``n_S``)."""

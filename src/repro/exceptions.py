@@ -51,6 +51,30 @@ class PlanningError(MorpheusError):
     """
 
 
+class ServingError(MorpheusError):
+    """Raised for invalid requests to the model-serving subsystem.
+
+    Examples include scoring with the wrong number of join keys, a key that
+    falls outside an attribute table, or asking a scorer for a prediction
+    head its model kind does not define (``predict_proba`` on K-Means).
+    """
+
+
+class SchemaMismatchError(ServingError):
+    """Raised when a model is scored against a schema it was not trained on.
+
+    The serving subsystem fingerprints the column-segment structure of the
+    normalized matrix at export time; loading the model against a matrix with
+    a different fingerprint (changed table widths, added/dropped joins) must
+    fail loudly instead of silently mis-slicing the weight vector.
+    """
+
+
+class RegistryError(ServingError):
+    """Raised for model-registry failures: unknown model names or versions,
+    or a corrupt/incomplete version directory on disk."""
+
+
 class ConvergenceError(MorpheusError):
     """Raised when an iterative ML algorithm fails to make progress."""
 

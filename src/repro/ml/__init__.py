@@ -26,6 +26,7 @@ from repro.ml.linear_regression import (
 )
 from repro.ml.kmeans import KMeans
 from repro.ml.gnmf import GNMF
+from repro.ml.export import ServingExport, apply_head, export_model
 from repro.ml.metrics import (
     accuracy,
     clip_scores,
@@ -46,6 +47,9 @@ __all__ = [
     "LinearRegressionCofactor",
     "KMeans",
     "GNMF",
+    "ServingExport",
+    "apply_head",
+    "export_model",
     "accuracy",
     "clip_scores",
     "sigmoid",

@@ -375,6 +375,47 @@ def unwrap_lazy(data):
     return data
 
 
+def validate_predict_data(data, n_features: int, context: str):
+    """Validate and coerce an inference input to a scorable 2-D operand.
+
+    Accepts everything ``fit`` accepts -- plain dense/sparse matrices,
+    normalized matrices, chunked/sharded operands, lazy views -- plus the
+    point-request shapes an inference call sees: a 1-D vector of length
+    ``n_features`` (one sample) or a nested sequence.  All shape problems
+    raise :class:`repro.exceptions.ShapeError` with the estimator context
+    instead of leaking backend-specific numpy errors, and every estimator's
+    ``predict``/``predict_proba``/``decision_function``/``transform`` routes
+    through here so the four algorithms reject bad input identically.
+    """
+    from repro.la.types import is_matrix_like
+
+    data = unwrap_lazy(data)
+    if not is_matrix_like(data) and not hasattr(data, "shape"):
+        try:
+            data = np.asarray(data, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise ShapeError(f"{context}: input is not matrix-like ({exc})") from exc
+    if isinstance(data, np.ndarray):
+        if data.ndim == 1:
+            if data.shape[0] != n_features:
+                raise ShapeError(
+                    f"{context}: 1-D input has {data.shape[0]} features, "
+                    f"expected {n_features}"
+                )
+            data = data.reshape(1, -1)
+        elif data.ndim != 2:
+            raise ShapeError(f"{context}: expected a 1-D or 2-D input, got ndim={data.ndim}")
+    shape = getattr(data, "shape", None)
+    if shape is None or len(shape) != 2:
+        raise ShapeError(f"{context}: operand has no 2-D shape")
+    if shape[1] != n_features:
+        raise ShapeError(
+            f"{context}: input has {shape[1]} features but the model was "
+            f"trained with {n_features}"
+        )
+    return data
+
+
 def as_column(y) -> np.ndarray:
     """Coerce a target vector to a dense ``(n, 1)`` float column."""
     arr = np.asarray(y, dtype=np.float64)

@@ -1,0 +1,126 @@
+"""Model export hooks: trained estimators as servable linear maps.
+
+Every algorithm in this package scores new data through one linear map over
+the data matrix -- ``T @ coef_`` for the regressions, ``T @ centroids`` for
+the K-Means assignment (the row norm ``||t||^2`` is constant per row and
+drops out of the argmin), ``T @ (H pinv(H^T H))`` for the GNMF least-squares
+projection.  That shared structure is what lets the serving subsystem
+(:mod:`repro.serve`) push scoring through the joins: the weight matrix is
+sliced by the column segments of the normalized schema and each attribute
+table's slice is precomputed into per-row partial scores.
+
+:class:`ServingExport` is the exchange format: the ``(d, m)`` weight matrix,
+an optional per-output offset row, the model *kind* (which selects the
+prediction head) and JSON-safe metadata.  Each estimator exposes it via an
+``export_weights()`` hook; :func:`export_model` is the duck-typed entry
+point the scorer and the registry use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ServingError
+
+#: Model kinds with a defined prediction head (see ``apply_head`` below).
+KINDS = ("linear_regression", "logistic_regression", "kmeans", "gnmf")
+
+
+@dataclass
+class ServingExport:
+    """A trained model reduced to the linear map the serving layer needs.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`KINDS`; selects the prediction head applied on top of
+        the raw scores ``T @ weights``.
+    weights:
+        Dense ``(d, m)`` weight matrix -- the only part that multiplies the
+        data matrix, and therefore the only part the factorized scorer
+        slices by column segment.
+    offsets:
+        Optional ``(1, m)`` per-output offsets (K-Means stores the squared
+        centroid norms here).
+    metadata:
+        JSON-safe extras (hyperparameters worth keeping with the weights).
+    fingerprint / registry_version:
+        Filled in by the model registry on load: the schema fingerprint the
+        weights were saved under, and the registry version number.
+    """
+
+    kind: str
+    weights: np.ndarray
+    offsets: Optional[np.ndarray] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+    fingerprint: Optional[str] = None
+    registry_version: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ServingError(f"unknown model kind {self.kind!r}; expected one of {KINDS}")
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if self.weights.ndim == 1:
+            self.weights = self.weights.reshape(-1, 1)
+        if self.weights.ndim != 2:
+            raise ServingError(f"weights must be 2-D, got ndim={self.weights.ndim}")
+        if self.offsets is not None:
+            self.offsets = np.asarray(self.offsets, dtype=np.float64).reshape(1, -1)
+            if self.offsets.shape[1] != self.weights.shape[1]:
+                raise ServingError(
+                    f"offsets have {self.offsets.shape[1]} outputs but weights have "
+                    f"{self.weights.shape[1]}"
+                )
+        elif self.kind == "kmeans":
+            # The assignment head needs the centroid norms; failing here beats
+            # a TypeError on the first request.
+            raise ServingError("kind 'kmeans' requires the squared-norm offsets row")
+
+    @property
+    def n_features(self) -> int:
+        return int(self.weights.shape[0])
+
+    @property
+    def n_outputs(self) -> int:
+        return int(self.weights.shape[1])
+
+
+def export_model(model) -> ServingExport:
+    """Export any fitted estimator through its ``export_weights()`` hook."""
+    hook = getattr(model, "export_weights", None)
+    if hook is None:
+        raise ServingError(
+            f"{type(model).__name__} does not define export_weights(); "
+            "only the four LA-based ML algorithms are servable"
+        )
+    return hook()
+
+
+def apply_head(export: ServingExport, raw: np.ndarray, head: str) -> np.ndarray:
+    """Post-process raw scores ``T @ weights`` into the model's prediction.
+
+    ``head="score"`` returns the raw scores unchanged for every kind (GNMF's
+    raw scores already *are* the projection coefficients).  ``"predict"``
+    applies the kind's decision rule; ``"predict_proba"`` is defined only
+    for logistic regression.
+    """
+    if head == "score":
+        return raw
+    if head == "predict_proba":
+        if export.kind != "logistic_regression":
+            raise ServingError(f"predict_proba is not defined for kind {export.kind!r}")
+        from repro.ml.metrics import sigmoid
+
+        return sigmoid(raw)
+    if head != "predict":
+        raise ServingError(f"unknown prediction head {head!r}")
+    if export.kind == "logistic_regression":
+        return np.where(raw >= 0.0, 1.0, -1.0)
+    if export.kind == "kmeans":
+        # argmin_k ||t - c_k||^2 = argmin_k (||c_k||^2 - 2 t.c_k): the row
+        # norm is constant per row, so assignment needs only the dot products.
+        return np.argmin(export.offsets - 2.0 * raw, axis=1)
+    return raw  # linear_regression predictions and gnmf projections are the scores

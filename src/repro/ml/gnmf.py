@@ -21,7 +21,8 @@ import numpy as np
 
 from repro.la import ops as la_ops
 from repro.la.generic import to_dense_result
-from repro.ml.base import IterativeEstimator, unwrap_lazy
+from repro.ml.base import IterativeEstimator, unwrap_lazy, validate_predict_data
+from repro.ml.export import ServingExport
 
 
 class GNMF(IterativeEstimator):
@@ -53,6 +54,8 @@ class GNMF(IterativeEstimator):
         #: persistent RNG of the standalone partial_fit stream (appends W rows
         #: for never-before-seen batches); reset when h_ is None.
         self._stream_rng: Optional[np.random.Generator] = None
+        #: (h_ identity, projection matrix) pair backing _projection_matrix.
+        self._projection_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def _initial_factors(self, n: int, d: int) -> Tuple[np.ndarray, np.ndarray]:
         rng = self._rng()
@@ -214,6 +217,35 @@ class GNMF(IterativeEstimator):
         """Squared Frobenius reconstruction error (densifies; diagnostics only)."""
         dense = data.to_dense() if hasattr(data, "to_dense") else np.asarray(data)
         return float(np.linalg.norm(dense - w @ h.T) ** 2)
+
+    def _projection_matrix(self) -> np.ndarray:
+        """The ``(d, r)`` map taking data rows to least-squares topic loadings.
+
+        For a row ``t`` the loadings minimizing ``||t - c H^T||`` are
+        ``c = t H pinv(H^T H)``, so projection is one linear map over the
+        data matrix -- which is what lets the serving subsystem factorize it.
+        Cached per ``h_`` object (every update rebinds ``h_``), so repeated
+        ``transform`` calls skip the pseudo-inverse.
+        """
+        if self._projection_cache is not None and self._projection_cache[0] is self.h_:
+            return self._projection_cache[1]
+        projection = self.h_ @ np.linalg.pinv(la_ops.crossprod(self.h_))
+        self._projection_cache = (self.h_, projection)
+        return projection
+
+    def transform(self, data) -> np.ndarray:
+        """Project rows of *data* onto the learned topic space (``(n, r)`` loadings)."""
+        if self.h_ is None:
+            raise RuntimeError("model is not fitted")
+        data = validate_predict_data(data, self.h_.shape[0], "GNMF.transform")
+        return to_dense_result(data @ self._projection_matrix())
+
+    def export_weights(self) -> ServingExport:
+        """Export the topic-projection map for the serving subsystem."""
+        if self.h_ is None:
+            raise RuntimeError("GNMF.export_weights: model is not fitted")
+        return ServingExport("gnmf", self._projection_matrix(),
+                             metadata={"rank": self.rank})
 
     def reconstruct(self) -> np.ndarray:
         """Return the low-rank reconstruction ``W H^T``."""

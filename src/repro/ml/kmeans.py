@@ -25,7 +25,8 @@ import numpy as np
 
 from repro.la import generic
 from repro.la.generic import to_dense_result
-from repro.ml.base import IterativeEstimator, unwrap_lazy
+from repro.ml.base import IterativeEstimator, unwrap_lazy, validate_predict_data
+from repro.ml.export import ServingExport
 
 
 class KMeans(IterativeEstimator):
@@ -239,5 +240,20 @@ class KMeans(IterativeEstimator):
         """Assign new rows to the nearest learned centroid."""
         if self.centroids_ is None:
             raise RuntimeError("model is not fitted")
-        distances = self._distances_to(unwrap_lazy(data), self.centroids_)
+        data = validate_predict_data(data, self.centroids_.shape[0], "KMeans.predict")
+        distances = self._distances_to(data, self.centroids_)
         return np.argmin(distances, axis=1)
+
+    def export_weights(self) -> ServingExport:
+        """Export the centroids as a servable linear map.
+
+        The weight matrix is the ``(d, k)`` centroid matrix; the offsets row
+        stores the squared centroid norms, so cluster assignment is
+        ``argmin(offsets - 2 * (T @ centroids))`` -- the per-row norm
+        ``||t||^2`` is constant within a row and drops out of the argmin.
+        """
+        if self.centroids_ is None:
+            raise RuntimeError("KMeans.export_weights: model is not fitted")
+        norms = np.sum(self.centroids_ ** 2, axis=0, keepdims=True)
+        return ServingExport("kmeans", self.centroids_, offsets=norms,
+                             metadata={"num_clusters": self.num_clusters})

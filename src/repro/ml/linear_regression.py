@@ -32,7 +32,16 @@ from repro.ml.base import (
     shard_for_jobs,
     unwrap_lazy,
     validate_n_jobs,
+    validate_predict_data,
 )
+from repro.ml.export import ServingExport
+
+
+def _export_linear(coef: Optional[np.ndarray], context: str) -> ServingExport:
+    """Shared ``export_weights`` body of the three linear-regression solvers."""
+    if coef is None:
+        raise RuntimeError(f"{context}: model is not fitted")
+    return ServingExport("linear_regression", coef)
 
 
 class LinearRegressionNE:
@@ -59,7 +68,12 @@ class LinearRegressionNE:
     def predict(self, data) -> np.ndarray:
         if self.coef_ is None:
             raise RuntimeError("model is not fitted")
-        return to_dense_result(unwrap_lazy(data) @ self.coef_)
+        data = validate_predict_data(data, self.coef_.shape[0], "LinearRegressionNE.predict")
+        return to_dense_result(data @ self.coef_)
+
+    def export_weights(self) -> ServingExport:
+        """Export the learned weights for the serving subsystem."""
+        return _export_linear(self.coef_, "LinearRegressionNE.export_weights")
 
 
 class LinearRegressionGD(IterativeEstimator):
@@ -179,7 +193,12 @@ class LinearRegressionGD(IterativeEstimator):
     def predict(self, data) -> np.ndarray:
         if self.coef_ is None:
             raise RuntimeError("model is not fitted")
-        return to_dense_result(unwrap_lazy(data) @ self.coef_)
+        data = validate_predict_data(data, self.coef_.shape[0], "LinearRegressionGD.predict")
+        return to_dense_result(data @ self.coef_)
+
+    def export_weights(self) -> ServingExport:
+        """Export the learned weights for the serving subsystem."""
+        return _export_linear(self.coef_, "LinearRegressionGD.export_weights")
 
 
 class LinearRegressionCofactor(IterativeEstimator):
@@ -233,4 +252,10 @@ class LinearRegressionCofactor(IterativeEstimator):
     def predict(self, data) -> np.ndarray:
         if self.coef_ is None:
             raise RuntimeError("model is not fitted")
-        return to_dense_result(unwrap_lazy(data) @ self.coef_)
+        data = validate_predict_data(data, self.coef_.shape[0],
+                                     "LinearRegressionCofactor.predict")
+        return to_dense_result(data @ self.coef_)
+
+    def export_weights(self) -> ServingExport:
+        """Export the learned weights for the serving subsystem."""
+        return _export_linear(self.coef_, "LinearRegressionCofactor.export_weights")

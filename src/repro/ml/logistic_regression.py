@@ -29,7 +29,9 @@ from repro.ml.base import (
     clip_scores,
     sigmoid,
     unwrap_lazy,
+    validate_predict_data,
 )
+from repro.ml.export import ServingExport
 
 
 class LogisticRegressionGD(IterativeEstimator):
@@ -174,7 +176,16 @@ class LogisticRegressionGD(IterativeEstimator):
         """Raw scores ``T w`` for the given data matrix."""
         if self.coef_ is None:
             raise RuntimeError("model is not fitted")
-        return to_dense_result(unwrap_lazy(data) @ self.coef_)
+        data = validate_predict_data(data, self.coef_.shape[0],
+                                     "LogisticRegressionGD.decision_function")
+        return to_dense_result(data @ self.coef_)
+
+    def export_weights(self) -> ServingExport:
+        """Export the learned weights for the serving subsystem."""
+        if self.coef_ is None:
+            raise RuntimeError("LogisticRegressionGD.export_weights: model is not fitted")
+        return ServingExport("logistic_regression", self.coef_,
+                             metadata={"update": self.update})
 
     def predict_proba(self, data) -> np.ndarray:
         """Probability of the positive class for each row."""

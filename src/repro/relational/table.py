@@ -142,6 +142,38 @@ class Table:
             index[value] = pos
         return index
 
+    def positions_for_keys(self, key_column: str, values: Sequence) -> np.ndarray:
+        """Batch key -> row lookup: row positions of *values* by primary key.
+        (Per-key dict lookups over a cached index -- O(1) each, not
+        numpy-vectorized; fine for request-sized batches.)
+
+        This is the serving-time bridge from natural keys (product ids,
+        account numbers) to the attribute-table row indices the factorized
+        scorer gathers partial scores with.  The position index is built
+        once per ``(table, column)`` and cached on the table, relying on the
+        library-wide convention that base data is treated as immutable
+        (mutating a column array in place invalidates no caches -- same
+        contract as the lazy layer's FactorizedCache); unknown keys raise
+        :class:`SchemaError`.
+        """
+        cache = getattr(self, "_key_indexes", None)
+        if cache is None:
+            cache = {}
+            self._key_indexes = cache
+        index = cache.get(key_column)
+        if index is None:
+            index = self.key_position_index(key_column)
+            cache[key_column] = index
+        positions = np.empty(len(values), dtype=np.int64)
+        for i, value in enumerate(np.asarray(values).tolist()):
+            try:
+                positions[i] = index[value]
+            except KeyError:
+                raise SchemaError(
+                    f"table {self.name!r}: unknown key {value!r} in column {key_column!r}"
+                ) from None
+        return positions
+
     def group_positions(self, column_name: str) -> Dict[object, List[int]]:
         """Map each distinct value of a column to the list of row positions holding it."""
         groups: Dict[object, List[int]] = {}

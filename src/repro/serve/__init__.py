@@ -1,0 +1,45 @@
+"""Factorized model serving: inference pushed through the joins.
+
+Training over a normalized matrix avoids materializing the join; this
+subpackage carries the idea to the online path.  A trained model's linear
+map decomposes by the column segments of the schema into per-table partial
+scores ``R_k @ W_k`` that are precomputed once -- a scoring request is then
+an entity-local dot product plus one O(1) gather per join key, with no join,
+no ``S``-sized state, and no per-request matmul over attribute columns.
+
+* :class:`~repro.serve.scorer.FactorizedScorer` -- the math: weight slicing
+  by :meth:`~repro.core.normalized_matrix.NormalizedMatrix.column_segments`,
+  partial precomputation, FK-gather scoring, and per-table snapshot-swapped
+  updates (``update_table``).
+* :class:`~repro.serve.registry.ModelRegistry` -- versioned on-disk
+  save/load of exported weights, bound to a schema fingerprint; loading
+  against a mismatched schema raises
+  :class:`~repro.exceptions.SchemaMismatchError`.
+* :class:`~repro.serve.service.ScoringService` -- the online front end:
+  micro-batching, a hot-entity LRU keyed by snapshot version, counters.
+* :mod:`repro.serve.snapshot` -- the immutable-snapshot / atomic-swap
+  protocol that keeps serving consistent while attribute tables change.
+
+Quickstart::
+
+    from repro.serve import FactorizedScorer, ScoringService
+
+    scorer = FactorizedScorer.from_model(model, TN)   # any of the four models
+    service = ScoringService(scorer)
+    service.predict_rows([0, 17, 23])                 # O(1) gathers per key
+    service.update_table("table_0", R0_new)           # atomic snapshot swap
+"""
+
+from repro.serve.registry import ModelRegistry
+from repro.serve.scorer import FactorizedScorer
+from repro.serve.service import ScoringService
+from repro.serve.snapshot import ServingSnapshot, SnapshotManager, compute_partial
+
+__all__ = [
+    "FactorizedScorer",
+    "ModelRegistry",
+    "ScoringService",
+    "ServingSnapshot",
+    "SnapshotManager",
+    "compute_partial",
+]

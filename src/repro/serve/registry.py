@@ -1,0 +1,193 @@
+"""Versioned on-disk model registry for the serving subsystem.
+
+A registry directory holds one subdirectory per model name and one
+``v<NNNN>`` subdirectory per saved version:
+
+.. code-block:: text
+
+    registry_root/
+      churn/
+        v0001/ weights.npz  meta.json
+        v0002/ weights.npz  meta.json
+
+``weights.npz`` stores the dense weight matrix (and offsets when present);
+``meta.json`` stores the model kind, JSON-safe metadata and -- crucially --
+the **schema fingerprint** of the normalized matrix the model was exported
+against (see :func:`repro.core.segments.schema_fingerprint`).  Loading a
+version against a serving matrix whose fingerprint differs raises
+:class:`~repro.exceptions.SchemaMismatchError` instead of silently
+mis-slicing the weight vector.
+
+Writes are crash-safe in the usual marker-file way: ``meta.json`` is written
+last (via a temp file + ``os.replace``), so a version directory without it
+is an aborted save and is reported as corrupt rather than half-loaded.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import tempfile
+import zipfile
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.segments import schema_fingerprint
+from repro.exceptions import RegistryError, SchemaMismatchError
+from repro.ml.export import ServingExport, export_model
+
+_VERSION_DIR = re.compile(r"^v(\d{4,})$")
+
+
+class ModelRegistry:
+    """Save, list and load versioned model exports bound to a schema."""
+
+    def __init__(self, root: Union[str, pathlib.Path]):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- writing -----------------------------------------------------------------
+
+    def save(self, name: str, model, matrix) -> int:
+        """Save a fitted *model* (or a ready ``ServingExport``) under *name*.
+
+        The schema fingerprint of *matrix* is stored with the weights;
+        returns the new (auto-incremented) version number.
+        """
+        self._check_name(name)
+        export = model if isinstance(model, ServingExport) else export_model(model)
+        fingerprint = schema_fingerprint(matrix)
+        if export.fingerprint is not None and export.fingerprint != fingerprint:
+            # A re-saved export that was loaded against a different schema
+            # must not be silently rebound: equal total width does not mean
+            # equal segment structure, and mis-sliced weights score wrong.
+            raise SchemaMismatchError(
+                f"export carries schema fingerprint {export.fingerprint[:12]}... but "
+                f"the target matrix has {fingerprint[:12]}...; re-export from the model"
+            )
+        if export.n_features != matrix.logical_cols:
+            raise SchemaMismatchError(
+                f"model has {export.n_features} weights but the schema has "
+                f"{matrix.logical_cols} columns"
+            )
+        versions = self.versions(name)
+        version = (versions[-1] + 1) if versions else 1
+        while True:
+            directory = self.root / name / f"v{version:04d}"
+            try:
+                directory.mkdir(parents=True)
+                break
+            except FileExistsError:
+                # A concurrent save (or an aborted one) claimed this number;
+                # the directory itself is the allocation token, so advance.
+                version += 1
+
+        arrays = {"weights": export.weights}
+        if export.offsets is not None:
+            arrays["offsets"] = export.offsets
+        np.savez(directory / "weights.npz", **arrays)
+        meta = {
+            "name": name,
+            "version": version,
+            "kind": export.kind,
+            "fingerprint": fingerprint,
+            "n_features": export.n_features,
+            "n_outputs": export.n_outputs,
+            "metadata": export.metadata,
+        }
+        # meta.json last, atomically: its presence marks the save as complete.
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(meta, handle, indent=2, sort_keys=True)
+            os.replace(tmp_path, directory / "meta.json")
+        except BaseException:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+            raise
+        return version
+
+    # -- listing -----------------------------------------------------------------
+
+    def models(self) -> List[str]:
+        """Names with at least one complete version, sorted."""
+        return sorted(p.name for p in self.root.iterdir()
+                      if p.is_dir() and self._complete_versions(p))
+
+    def versions(self, name: str) -> List[int]:
+        """Complete version numbers of *name*, ascending (empty if unknown)."""
+        return self._complete_versions(self.root / name)
+
+    def latest(self, name: str) -> int:
+        """Newest complete version of *name*; :class:`RegistryError` if none."""
+        versions = self.versions(name)
+        if not versions:
+            raise RegistryError(f"registry has no model named {name!r}")
+        return versions[-1]
+
+    @staticmethod
+    def _complete_versions(directory: pathlib.Path) -> List[int]:
+        if not directory.is_dir():
+            return []
+        found = []
+        for child in directory.iterdir():
+            match = _VERSION_DIR.match(child.name)
+            if match and (child / "meta.json").is_file():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    # -- loading -----------------------------------------------------------------
+
+    def load(self, name: str, version: Optional[int] = None) -> ServingExport:
+        """Load one version (default: latest) as a ``ServingExport``.
+
+        The stored schema fingerprint is attached as ``export.fingerprint``
+        so downstream consumers can verify it against a serving matrix.
+        """
+        if version is None:
+            version = self.latest(name)
+        directory = self.root / name / f"v{int(version):04d}"
+        meta_path = directory / "meta.json"
+        weights_path = directory / "weights.npz"
+        if not directory.is_dir():
+            raise RegistryError(f"registry has no version {version} of {name!r}")
+        if not meta_path.is_file():
+            raise RegistryError(
+                f"{name!r} v{version} is incomplete (missing meta.json; aborted save?)"
+            )
+        if not weights_path.is_file():
+            raise RegistryError(f"{name!r} v{version} is corrupt (missing weights.npz)")
+        try:
+            meta = json.loads(meta_path.read_text())
+            with np.load(weights_path) as arrays:
+                weights = arrays["weights"]
+                offsets = arrays["offsets"] if "offsets" in arrays else None
+            export = ServingExport(meta["kind"], weights, offsets=offsets,
+                                   metadata=dict(meta.get("metadata", {})))
+            export.fingerprint = meta["fingerprint"]
+            export.registry_version = int(meta["version"])
+        except (ValueError, KeyError, TypeError, OSError, zipfile.BadZipFile) as exc:
+            # TypeError covers structurally wrong JSON (top-level non-dict,
+            # null metadata); ServingExport validation errors pass through
+            # unwrapped only because they already subclass the serving family.
+            raise RegistryError(f"{name!r} v{version} is corrupt: {exc}") from exc
+        return export
+
+    def scorer(self, name: str, matrix, version: Optional[int] = None):
+        """Load a version and bind it to *matrix* as a ``FactorizedScorer``.
+
+        Raises :class:`SchemaMismatchError` when the matrix's column-segment
+        structure differs from the one the model was saved under.
+        """
+        from repro.serve.scorer import FactorizedScorer
+
+        export = self.load(name, version)
+        return FactorizedScorer(export, matrix,
+                                expected_fingerprint=export.fingerprint)
+
+    def _check_name(self, name: str) -> None:
+        if not name or "/" in name or name.startswith("."):
+            raise RegistryError(f"invalid model name {name!r}")

@@ -1,0 +1,120 @@
+"""Immutable serving snapshots and the atomic swap protocol.
+
+The serving subsystem must stay correct while attribute tables change
+underneath it -- the HTAP freshness requirement: a new product row or a
+refreshed feature vector lands in ``R_k``, and analytical reads (scoring
+requests) must never observe a half-updated state.  The design follows the
+consistent-snapshot recipe:
+
+* All state a scoring request touches after validation lives in one
+  **immutable** :class:`ServingSnapshot` (the per-table partial-score
+  matrices, read-only).  A request reads the current snapshot reference
+  exactly once and then works only with that object, so it can never see a
+  mix of old and new partials.
+* Updates build replacement state **off to the side** -- recomputing only the
+  changed table's partial, not the whole model -- and then **atomically
+  swap** the snapshot reference.  Reference assignment is atomic in Python,
+  so readers are never blocked and never torn; a writer lock serializes
+  concurrent updates so no swap is lost.
+* :meth:`SnapshotManager.submit` runs the rebuild on a single background
+  worker thread, which is what makes ``update_table`` non-blocking for the
+  serving path: scoring continues against the old snapshot until the new one
+  is ready.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.la.types import MatrixLike, to_dense
+
+
+def compute_partial(attribute: MatrixLike, weight_slice: np.ndarray) -> np.ndarray:
+    """Precompute one table's partial scores ``R_k @ W_k`` (``n_Rk x m``).
+
+    The result is dense (partials are gathered per request, and ``m`` is
+    small) and marked read-only, since it is shared by every snapshot that
+    carries it and by every in-flight request.
+    """
+    partial = np.asarray(to_dense(attribute @ weight_slice), dtype=np.float64)
+    if partial.ndim == 1:
+        partial = partial.reshape(-1, 1)
+    partial.setflags(write=False)
+    return partial
+
+
+class ServingSnapshot:
+    """One immutable, internally consistent serving state.
+
+    Holds the per-table partial-score matrices plus a monotonically
+    increasing version number.  Instances are never mutated; updates go
+    through :meth:`with_partial`, which shares every untouched partial with
+    its predecessor.
+    """
+
+    __slots__ = ("partials", "version")
+
+    def __init__(self, partials: Tuple[np.ndarray, ...], version: int = 0):
+        self.partials = tuple(partials)
+        self.version = int(version)
+
+    def with_partial(self, table_index: int, partial: np.ndarray) -> "ServingSnapshot":
+        """A successor snapshot replacing one table's partial (version + 1)."""
+        partials = list(self.partials)
+        partials[table_index] = partial
+        return ServingSnapshot(tuple(partials), self.version + 1)
+
+    @property
+    def partial_bytes(self) -> int:
+        """Resident bytes of all partial-score matrices."""
+        return int(sum(p.nbytes for p in self.partials))
+
+
+class SnapshotManager:
+    """Publishes snapshots to readers; serializes writers; owns the worker.
+
+    Readers call :attr:`snapshot` (a single attribute read -- atomic, never
+    blocking).  Writers pass a pure ``snapshot -> snapshot`` function to
+    :meth:`swap`; the writer lock makes concurrent updates to *different*
+    tables compose instead of overwriting each other.  :meth:`submit` runs a
+    rebuild callable on one lazily created background thread, so at most one
+    rebuild runs at a time and swaps apply in submission order.
+    """
+
+    def __init__(self, snapshot: ServingSnapshot):
+        self._snapshot = snapshot
+        self._write_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+
+    @property
+    def snapshot(self) -> ServingSnapshot:
+        """The current snapshot; read it once per request and hold on to it."""
+        return self._snapshot
+
+    def swap(self, update: Callable[[ServingSnapshot], ServingSnapshot]) -> ServingSnapshot:
+        """Atomically replace the snapshot with ``update(current)``."""
+        with self._write_lock:
+            snapshot = update(self._snapshot)
+            self._snapshot = snapshot
+        return snapshot
+
+    def submit(self, task: Callable[[], ServingSnapshot]) -> "Future[ServingSnapshot]":
+        """Run *task* (rebuild + swap) on the single background worker."""
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=1, thread_name_prefix="serve-snapshot"
+                )
+            return self._executor.submit(task)
+
+    def close(self) -> None:
+        """Stop the background worker (waits for a pending rebuild)."""
+        with self._executor_lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None

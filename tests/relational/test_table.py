@@ -126,6 +126,30 @@ class TestKeyUtilities:
         assert groups[0] == [0, 4]
         assert groups[1] == [1, 2]
 
+    def test_positions_for_keys_batch_lookup(self):
+        table = Table("products", {
+            "sku": np.array(["p9", "p2", "p5"]),
+            "price": np.array([9.0, 2.0, 5.0]),
+        })
+        positions = table.positions_for_keys("sku", ["p5", "p9", "p5"])
+        np.testing.assert_array_equal(positions, [2, 0, 2])
+        assert positions.dtype == np.int64
+
+    def test_positions_for_keys_unknown_key(self, customers):
+        with pytest.raises(SchemaError, match="unknown key"):
+            customers.positions_for_keys("customer_id", [0, 99])
+
+    def test_positions_for_keys_caches_index(self, customers):
+        customers.positions_for_keys("customer_id", [1])
+        index = customers._key_indexes["customer_id"]
+        customers.positions_for_keys("customer_id", [2])
+        assert customers._key_indexes["customer_id"] is index
+
+    def test_positions_for_keys_duplicate_key_column(self):
+        table = Table("t", {"k": np.array([1, 1])})
+        with pytest.raises(SchemaError):
+            table.positions_for_keys("k", [1])
+
 
 class TestMatrixConversion:
     def test_numeric_matrix_default_columns(self, customers):

@@ -1,0 +1,215 @@
+"""ModelRegistry: versioned round-trips, fingerprint binding, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.normalized_matrix import NormalizedMatrix
+from repro.exceptions import RegistryError, SchemaMismatchError
+from repro.ml import (
+    GNMF,
+    KMeans,
+    LinearRegressionGD,
+    LogisticRegressionGD,
+    ServingExport,
+)
+from repro.serve import FactorizedScorer, ModelRegistry
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+def _fit_all(normalized, materialized, rng):
+    dense = np.asarray(materialized)
+    y = rng.standard_normal(dense.shape[0])
+    labels = np.where(y > 0, 1.0, -1.0)
+    nonneg = NormalizedMatrix(
+        np.abs(np.asarray(normalized.entity)), normalized.indicators,
+        [np.abs(np.asarray(r)) for r in normalized.attributes],
+    )
+    return {
+        "linreg": (LinearRegressionGD(max_iter=4).fit(normalized, y), normalized),
+        "logreg": (LogisticRegressionGD(max_iter=4).fit(normalized, labels), normalized),
+        "kmeans": (KMeans(num_clusters=3, max_iter=4).fit(normalized), normalized),
+        "gnmf": (GNMF(rank=2, max_iter=4).fit(nonneg), nonneg),
+    }
+
+
+class TestRoundTrip:
+    def test_all_four_model_kinds_roundtrip(self, registry, single_join_dense, rng):
+        """Registry round-trip preserves scoring exactly for every model kind."""
+        _, normalized, materialized = single_join_dense
+        rows = np.arange(normalized.shape[0])
+        for name, (model, matrix) in _fit_all(normalized, materialized, rng).items():
+            version = registry.save(name, model, matrix)
+            assert version == 1
+            loaded = registry.scorer(name, matrix)
+            direct = FactorizedScorer.from_model(model, matrix)
+            np.testing.assert_allclose(
+                loaded.score_rows(rows), direct.score_rows(rows), rtol=0, atol=0
+            )
+            np.testing.assert_allclose(
+                loaded.predict_rows(rows), direct.predict_rows(rows), rtol=0, atol=0
+            )
+        assert registry.models() == sorted(["linreg", "logreg", "kmeans", "gnmf"])
+
+    def test_offsets_and_metadata_survive(self, registry, single_join_dense):
+        _, normalized, _ = single_join_dense
+        model = KMeans(num_clusters=3, max_iter=3).fit(normalized)
+        registry.save("km", model, normalized)
+        loaded = registry.load("km")
+        export = model.export_weights()
+        np.testing.assert_array_equal(loaded.offsets, export.offsets)
+        assert loaded.metadata == {"num_clusters": 3}
+        assert loaded.kind == "kmeans"
+        assert loaded.registry_version == 1
+
+    def test_versions_increment_and_latest_wins(self, registry, single_join_dense, rng):
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        first = LinearRegressionGD(max_iter=2).fit(normalized, y)
+        second = LinearRegressionGD(max_iter=6).fit(normalized, y)
+        assert registry.save("m", first, normalized) == 1
+        assert registry.save("m", second, normalized) == 2
+        assert registry.versions("m") == [1, 2]
+        assert registry.latest("m") == 2
+        np.testing.assert_array_equal(registry.load("m").weights, second.coef_)
+        np.testing.assert_array_equal(registry.load("m", version=1).weights, first.coef_)
+
+
+class TestSchemaBinding:
+    def test_mismatched_schema_rejected_at_scoring(self, registry, single_join_dense,
+                                                   multi_join_dense, rng):
+        _, single, _ = single_join_dense
+        _, multi, _ = multi_join_dense
+        y = rng.standard_normal(single.shape[0])
+        registry.save("m", LinearRegressionGD(max_iter=2).fit(single, y), single)
+        with pytest.raises(SchemaMismatchError):
+            registry.scorer("m", multi)
+
+    def test_row_count_changes_do_not_invalidate(self, registry, single_join_dense, rng):
+        """Attribute-table growth (freshness) keeps the fingerprint valid."""
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        registry.save("m", LinearRegressionGD(max_iter=2).fit(normalized, y), normalized)
+        old = np.asarray(normalized.attributes[0])
+        grown = NormalizedMatrix(
+            normalized.entity, normalized.indicators,
+            [np.vstack([old, rng.standard_normal((3, old.shape[1]))])],
+            validate=False,
+        )
+        registry.scorer("m", grown)  # must not raise
+
+    def test_save_rejects_wrong_width_export(self, registry, single_join_dense):
+        _, normalized, _ = single_join_dense
+        bad = ServingExport("linear_regression", np.zeros((normalized.logical_cols + 2, 1)))
+        with pytest.raises(SchemaMismatchError):
+            registry.save("m", bad, normalized)
+
+    def test_save_rejects_rebinding_a_loaded_export(self, registry, single_join_dense, rng):
+        """A loaded export must not be re-saved against a different schema,
+        even one with the same total width (segment structure differs)."""
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        registry.save("m", LinearRegressionGD(max_iter=2).fit(normalized, y), normalized)
+        loaded = registry.load("m")
+        entity = np.asarray(normalized.entity)
+        attribute = np.asarray(normalized.attributes[0])
+        # move one attribute column into the entity block: same logical_cols,
+        # different (entity, table_0) widths.
+        reshaped = NormalizedMatrix(
+            np.hstack([entity, np.zeros((entity.shape[0], 1))]),
+            normalized.indicators, [attribute[:, :-1]],
+        )
+        assert reshaped.logical_cols == normalized.logical_cols
+        with pytest.raises(SchemaMismatchError, match="fingerprint"):
+            registry.save("other", loaded, reshaped)
+
+    def test_valid_json_with_missing_fields_reported_corrupt(self, registry,
+                                                             single_join_dense, rng):
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        registry.save("m", LinearRegressionGD(max_iter=2).fit(normalized, y), normalized)
+        for payload in ("{}", '"hello"', '{"kind": "linear_regression", "metadata": null}'):
+            (registry.root / "m" / "v0001" / "meta.json").write_text(payload)
+            with pytest.raises(RegistryError, match="corrupt"):
+                registry.load("m")
+
+
+class TestFailureModes:
+    def test_unknown_model_and_version(self, registry, single_join_dense, rng):
+        _, normalized, _ = single_join_dense
+        with pytest.raises(RegistryError):
+            registry.latest("ghost")
+        with pytest.raises(RegistryError):
+            registry.load("ghost")
+        y = rng.standard_normal(normalized.shape[0])
+        registry.save("m", LinearRegressionGD(max_iter=2).fit(normalized, y), normalized)
+        with pytest.raises(RegistryError):
+            registry.load("m", version=9)
+
+    def test_aborted_save_is_invisible_and_reported(self, registry, single_join_dense, rng):
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        registry.save("m", LinearRegressionGD(max_iter=2).fit(normalized, y), normalized)
+        aborted = registry.root / "m" / "v0002"
+        aborted.mkdir()
+        (aborted / "weights.npz").write_bytes(b"not a real archive")
+        # no meta.json: the version never completed, so listing ignores it ...
+        assert registry.versions("m") == [1]
+        assert registry.latest("m") == 1
+        # ... and loading it explicitly names the corruption.
+        with pytest.raises(RegistryError, match="incomplete"):
+            registry.load("m", version=2)
+
+    def test_corrupt_weights_reported(self, registry, single_join_dense, rng):
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        registry.save("m", LinearRegressionGD(max_iter=2).fit(normalized, y), normalized)
+        directory = registry.root / "m" / "v0001"
+        (directory / "weights.npz").write_bytes(b"garbage")
+        with pytest.raises(RegistryError, match="corrupt"):
+            registry.load("m")
+        meta = json.loads((directory / "meta.json").read_text())
+        assert meta["kind"] == "linear_regression"
+
+    def test_truncated_zip_weights_reported(self, registry, single_join_dense, rng):
+        """A weights file that *looks* like a zip but is truncated (BadZipFile)."""
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        registry.save("m", LinearRegressionGD(max_iter=2).fit(normalized, y), normalized)
+        weights_path = registry.root / "m" / "v0001" / "weights.npz"
+        weights_path.write_bytes(weights_path.read_bytes()[:40])
+        with pytest.raises(RegistryError, match="corrupt"):
+            registry.load("m")
+
+    def test_claimed_version_directory_is_skipped(self, registry, single_join_dense, rng):
+        """A racing/aborted save's directory is an allocation token to skip."""
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        model = LinearRegressionGD(max_iter=2).fit(normalized, y)
+        registry.save("m", model, normalized)
+        (registry.root / "m" / "v0002").mkdir()  # concurrent saver got here first
+        assert registry.save("m", model, normalized) == 3
+        assert registry.versions("m") == [1, 3]
+        assert registry.latest("m") == 3
+
+    def test_invalid_names_rejected(self, registry, single_join_dense, rng):
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        model = LinearRegressionGD(max_iter=2).fit(normalized, y)
+        for name in ("", "a/b", ".hidden"):
+            with pytest.raises(RegistryError):
+                registry.save(name, model, normalized)
+
+    def test_unservable_model_rejected(self, registry, single_join_dense):
+        from repro.exceptions import ServingError
+
+        _, normalized, _ = single_join_dense
+        with pytest.raises(ServingError):
+            registry.save("m", object(), normalized)

@@ -1,0 +1,311 @@
+"""ScoringService: micro-batching, LRU behaviour, and concurrent consistency.
+
+The concurrency tests pin the snapshot-swap contract: a scoring call reads
+one immutable snapshot, so its whole result must match either the pre-swap
+or the post-swap model -- never a torn mixture of the two.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.normalized_matrix import NormalizedMatrix
+from repro.exceptions import ServingError
+from repro.ml import ServingExport
+from repro.serve import FactorizedScorer, ScoringService
+
+
+def _scorer_for(normalized, m=2, seed=0):
+    rng = np.random.default_rng(seed)
+    export = ServingExport("linear_regression",
+                           rng.standard_normal((normalized.logical_cols, m)))
+    return FactorizedScorer(export, normalized), export
+
+
+class TestMicroBatching:
+    def test_batches_are_chunked_and_equal_unbatched(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        scorer, export = _scorer_for(normalized)
+        service = ScoringService(scorer, max_batch_size=16)
+        rows = np.arange(normalized.shape[0])
+        np.testing.assert_allclose(
+            service.score_rows(rows),
+            np.asarray(materialized) @ export.weights, rtol=1e-12, atol=1e-12,
+        )
+        stats = service.stats()
+        expected_chunks = -(-normalized.shape[0] // 16)
+        assert stats["micro_batches"] == expected_chunks
+        assert stats["requests"] == normalized.shape[0]
+
+    def test_adhoc_request_batching(self, multi_join_dense):
+        from repro.core import indicator_codes
+
+        _, normalized, _ = multi_join_dense
+        scorer, _ = _scorer_for(normalized, seed=1)
+        service = ScoringService(scorer, max_batch_size=8)
+        keys = np.stack([indicator_codes(k) for k in normalized.indicators], axis=1)
+        features = np.asarray(normalized.entity)
+        rows = np.arange(40)
+        np.testing.assert_allclose(
+            service.score(features[rows], keys[rows]),
+            scorer.score_rows(rows), rtol=1e-12, atol=1e-12,
+        )
+        assert service.stats()["micro_batches"] == 5
+
+    def test_boolean_mask_rows_are_resolved_before_chunking(self, multi_join_dense):
+        _, normalized, materialized = multi_join_dense
+        scorer, export = _scorer_for(normalized, seed=4)
+        service = ScoringService(scorer, max_batch_size=16)
+        mask = np.zeros(normalized.shape[0], dtype=bool)
+        mask[::5] = True
+        np.testing.assert_allclose(
+            service.score_rows(mask),
+            np.asarray(materialized)[mask] @ export.weights, rtol=1e-12, atol=1e-12,
+        )
+        assert service.stats()["requests"] == int(mask.sum())
+        from repro.exceptions import ShapeError
+
+        with pytest.raises(ShapeError):
+            service.score_rows(mask[:-3])  # wrong-length mask still rejected
+
+    def test_empty_batch(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        scorer, _ = _scorer_for(normalized)
+        service = ScoringService(scorer)
+        assert service.score_rows([]).shape == (0, 2)
+        empty = service.score(np.empty((0, scorer.entity_width)),
+                              np.empty((0, 1), dtype=np.int64))
+        assert empty.shape == (0, 2)
+        # an empty key array has no dtype information (float64 by default)
+        # and must still reach the shaped-empty-result path
+        assert service.score(np.empty((0, scorer.entity_width)), []).shape == (0, 2)
+
+    def test_empty_flat_keys_on_multi_table_schema(self, multi_join_dense):
+        """An empty flat key list is an empty batch, not one zero-key request."""
+        _, normalized, _ = multi_join_dense
+        scorer, _ = _scorer_for(normalized, seed=5)
+        service = ScoringService(scorer)
+        assert service.score(np.empty((0, scorer.entity_width)), []).shape == (0, 2)
+
+    def test_empty_batch_keeps_head_shape(self, single_join_dense):
+        """Empty predict batches keep the head's shape (1-D labels for K-Means)."""
+        from repro.ml import KMeans
+
+        _, normalized, _ = single_join_dense
+        model = KMeans(num_clusters=3, max_iter=2).fit(normalized)
+        service = ScoringService(FactorizedScorer.from_model(model, normalized))
+        labels = service.predict_rows([])
+        assert labels.shape == (0,)
+        assert np.concatenate([labels, service.predict_rows([1, 2])]).shape == (2,)
+
+    def test_flat_keys_are_one_request_on_multi_table_schema(self, multi_join_dense):
+        """A 1-D key vector on a q-table schema is one request, not q."""
+        _, normalized, _ = multi_join_dense
+        scorer, _ = _scorer_for(normalized, seed=2)
+        service = ScoringService(scorer, max_batch_size=1)
+        features = np.asarray(normalized.entity)[:1]
+        flat = service.score(features, np.array([3, 5]))
+        np.testing.assert_allclose(flat, scorer.score(features, np.array([[3, 5]])),
+                                   rtol=0, atol=0)
+        assert service.stats()["requests"] == 1
+
+    def test_mismatched_feature_and_key_rows_rejected(self, single_join_dense):
+        """The front end must not silently truncate to the shorter side."""
+        _, normalized, _ = single_join_dense
+        scorer, _ = _scorer_for(normalized)
+        service = ScoringService(scorer)
+        features = np.zeros((3, scorer.entity_width))
+        with pytest.raises(ServingError, match="3 feature rows but 2 key rows"):
+            service.score(features, np.zeros((2, 1), dtype=np.int64))
+
+    def test_coo_sparse_features_accepted(self, multi_join_dense):
+        """Non-sliceable sparse formats are normalized before chunking."""
+        import scipy.sparse as sp
+
+        from repro.core import indicator_codes
+
+        _, normalized, _ = multi_join_dense
+        scorer, _ = _scorer_for(normalized, seed=3)
+        service = ScoringService(scorer, max_batch_size=8)
+        keys = np.stack([indicator_codes(k) for k in normalized.indicators], axis=1)[:20]
+        features = sp.coo_matrix(np.asarray(normalized.entity)[:20])
+        np.testing.assert_allclose(
+            service.score(features, keys), scorer.score_rows(np.arange(20)),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_ragged_features_raise_shape_error(self, single_join_dense):
+        from repro.exceptions import ShapeError
+
+        _, normalized, _ = single_join_dense
+        scorer, _ = _scorer_for(normalized)
+        service = ScoringService(scorer)
+        with pytest.raises(ShapeError):
+            service.score([[1.0, 2.0], [1.0]], np.zeros((2, 1), dtype=np.int64))
+
+    def test_bad_configuration_rejected(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        scorer, _ = _scorer_for(normalized)
+        with pytest.raises(ServingError):
+            ScoringService(scorer, max_batch_size=0)
+        with pytest.raises(ServingError):
+            ScoringService(scorer, cache_size=-1)
+
+
+class TestHotEntityCache:
+    def test_repeated_rows_hit_the_cache(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        scorer, _ = _scorer_for(normalized)
+        service = ScoringService(scorer, cache_size=64)
+        first = service.score_row(5)
+        second = service.score_row(5)
+        np.testing.assert_array_equal(first, second)
+        stats = service.stats()
+        assert stats["cache_hits"] == 1
+        assert stats["cache_misses"] == 1
+
+    def test_lru_evicts_cold_entities(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        scorer, _ = _scorer_for(normalized)
+        service = ScoringService(scorer, cache_size=2)
+        for row in (0, 1, 2):  # row 0 is evicted by row 2
+            service.score_row(row)
+        service.score_row(0)
+        assert service.stats()["cache_misses"] == 4
+        assert service.stats()["cache_entries"] == 2
+
+    def test_swap_invalidates_cached_scores(self, single_join_dense, rng):
+        _, normalized, _ = single_join_dense
+        scorer, export = _scorer_for(normalized)
+        service = ScoringService(scorer)
+        stale = service.score_row(3)
+        fresh_table = rng.standard_normal(np.asarray(normalized.attributes[0]).shape)
+        service.update_table(0, fresh_table, wait=True)
+        swapped = NormalizedMatrix(normalized.entity, normalized.indicators, [fresh_table])
+        expected = (np.asarray(swapped.materialize()) @ export.weights)[3]
+        np.testing.assert_allclose(service.score_row(3), expected, rtol=1e-12, atol=1e-12)
+        assert not np.allclose(stale, expected)
+        assert service.stats()["snapshot_version"] == 1
+
+    def test_cache_disabled(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        scorer, _ = _scorer_for(normalized)
+        service = ScoringService(scorer, cache_size=0)
+        service.score_row(1)
+        service.score_row(1)
+        assert service.stats()["cache_hits"] == 0
+        assert service.stats()["cache_entries"] == 0
+
+
+class TestConcurrentConsistency:
+    def test_multi_chunk_batch_pins_one_snapshot(self, single_join_dense, rng):
+        """A swap landing between micro-batches must not tear one service call.
+
+        Deterministic version of the race: the first scorer invocation of a
+        chunked batch triggers a synchronous update_table, so without the
+        pinned snapshot the later chunks would score against the new table.
+        """
+        _, normalized, _ = single_join_dense
+        scorer, export = _scorer_for(normalized, seed=8)
+        service = ScoringService(scorer, max_batch_size=16)
+        old_table = np.asarray(normalized.attributes[0])
+        new_table = rng.standard_normal(old_table.shape)
+        pre_swap = (np.asarray(NormalizedMatrix(
+            normalized.entity, normalized.indicators, [old_table]
+        ).materialize()) @ export.weights)
+
+        original = scorer.score_rows
+        fired = []
+
+        def score_rows_with_midflight_swap(chunk, snapshot=None):
+            result = original(chunk, snapshot=snapshot)
+            if not fired:
+                fired.append(True)
+                scorer.update_table(0, new_table, wait=True)
+            return result
+
+        scorer.score_rows = score_rows_with_midflight_swap
+        try:
+            rows = np.arange(normalized.shape[0])
+            got = service.score_rows(rows)
+        finally:
+            scorer.score_rows = original
+        assert scorer.version == 1  # the swap really happened mid-batch
+        np.testing.assert_allclose(got, pre_swap, rtol=1e-12, atol=1e-12)
+
+    def test_concurrent_batches_never_torn_under_swaps(self, multi_join_dense, rng):
+        """Readers racing update_table see old or new scores, never a mixture."""
+        _, normalized, _ = multi_join_dense
+        scorer, export = _scorer_for(normalized, seed=5)
+        old_table = np.asarray(normalized.attributes[0])
+        new_table = rng.standard_normal(old_table.shape)
+        candidates = []
+        for table in (old_table, new_table):
+            swapped = NormalizedMatrix(normalized.entity, normalized.indicators,
+                                       [table, normalized.attributes[1]])
+            candidates.append(np.asarray(swapped.materialize()) @ export.weights)
+        rows = np.arange(normalized.shape[0])
+        mismatches = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                got = scorer.score_rows(rows)
+                if not any(np.allclose(got, c, rtol=1e-12, atol=1e-12)
+                           for c in candidates):
+                    mismatches.append(got)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(25):
+            scorer.update_table(0, new_table, wait=True)
+            scorer.update_table(0, old_table, wait=True)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not mismatches, "a reader observed a torn snapshot"
+        assert scorer.version == 50
+
+    def test_background_updates_with_concurrent_point_reads(self, single_join_dense, rng):
+        _, normalized, _ = single_join_dense
+        scorer, export = _scorer_for(normalized, seed=6)
+        service = ScoringService(scorer, cache_size=128)
+        old_table = np.asarray(normalized.attributes[0])
+        new_table = rng.standard_normal(old_table.shape)
+        candidates = []
+        for table in (old_table, new_table):
+            swapped = NormalizedMatrix(normalized.entity, normalized.indicators, [table])
+            candidates.append(np.asarray(swapped.materialize()) @ export.weights)
+        mismatches = []
+        stop = threading.Event()
+
+        def reader():
+            picks = np.random.default_rng(threading.get_ident() % 2**31)
+            while not stop.is_set():
+                row = int(picks.integers(0, normalized.shape[0]))
+                got = service.score_row(row)
+                if not any(np.allclose(got, c[row], rtol=1e-12, atol=1e-12)
+                           for c in candidates):
+                    mismatches.append((row, got))
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        futures = []
+        for _ in range(10):
+            futures.append(service.update_table(0, new_table, wait=False))
+            futures.append(service.update_table(0, old_table, wait=False))
+        for future in futures:
+            future.result(timeout=30)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        service.close()
+        assert not mismatches, f"point reads observed torn scores: {mismatches[:1]}"
+        assert service.stats()["snapshot_version"] == 20

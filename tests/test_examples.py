@@ -75,6 +75,20 @@ class TestOreScalabilityExample:
         assert len(rows) == 1
 
 
+class TestServingExample:
+    def test_register_and_serve(self, tmp_path):
+        demo = load_example("serving_demo")
+        customers, employers = demo.build_tables(num_customers=400, num_employers=20, seed=3)
+        registry, dataset, customer_scaler, employer_scaler = demo.train_and_register(
+            customers, employers, tmp_path / "registry")
+        assert registry.versions("churn") == [1]
+        report = demo.serve(registry, dataset, employers, customer_scaler, employer_scaler)
+        assert 0.0 <= report["proba_before"] <= 1.0
+        assert 0.0 <= report["proba_after"] <= 1.0
+        assert report["stats"]["snapshot_version"] == 1
+        assert report["stats"]["micro_batches"] >= 1
+
+
 class TestRealDatasetsExample:
     def test_study_dataset_reports_four_algorithms(self):
         study = load_example("real_datasets_study")
