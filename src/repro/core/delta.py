@@ -1,0 +1,316 @@
+"""Change capture for incremental maintenance: row-level attribute deltas.
+
+A :class:`MatrixDelta` describes one batch of row-level changes to an
+attribute (or M:N component) table's feature matrix ``R_k``: which rows
+changed, their values before and after, and the monotonic version the change
+produces.  It is the currency of the delta/IVM layer -- captured by
+:meth:`repro.relational.table.Table.upsert_rows` (or built directly from two
+matrix states), consumed by
+
+* :meth:`NormalizedMatrix.apply_delta` / :meth:`MNNormalizedMatrix.apply_delta`
+  -- producing the successor matrix and patching the attached lazy
+  :class:`~repro.core.lazy.cache.FactorizedCache` in place;
+* :meth:`repro.serve.scorer.FactorizedScorer.apply_delta` -- patching only
+  the changed rows of the table's partial-score matrix before the atomic
+  snapshot swap.
+
+Deletes are **tombstones**: a delete is an upsert to all-zero feature values,
+which keeps row numbering (and therefore every indicator matrix and cached
+position index) valid.  Physical deletes renumber rows and are inherently
+non-patchable -- consumers must rebuild; see ``docs/incremental.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.rewrite import delta as delta_rules
+from repro.exceptions import DeltaError
+from repro.la.types import MatrixLike, ensure_2d, is_sparse, to_dense
+
+
+@dataclass(frozen=True)
+class MatrixDelta:
+    """One batch of row-level changes to a single attribute matrix.
+
+    Attributes
+    ----------
+    rows:
+        Sorted, unique row indices into ``R_k`` (``(b,)`` int64).
+    old / new:
+        The ``(b, d_k)`` dense row values before and after the change.
+        Inserted rows (``rows >= num_rows``) have all-zero ``old``; tombstone
+        deletes have all-zero ``new``.
+    num_rows:
+        Row count of the table the delta applies to.  Indices at or beyond
+        it are *appends* (only the serving layer, whose partials may grow,
+        accepts those; in-place matrix patching requires ``rows < num_rows``).
+    version:
+        The monotonic version of the table **after** this delta.
+    """
+
+    rows: np.ndarray
+    old: np.ndarray
+    new: np.ndarray
+    num_rows: int
+    version: int = 1
+
+    def __post_init__(self):
+        rows = np.asarray(self.rows, dtype=np.int64).ravel()
+        old = np.asarray(to_dense(ensure_2d(self.old)), dtype=np.float64)
+        new = np.asarray(to_dense(ensure_2d(self.new)), dtype=np.float64)
+        if old.shape != new.shape:
+            raise DeltaError(f"delta old {old.shape} and new {new.shape} shapes differ")
+        if rows.shape[0] != new.shape[0]:
+            raise DeltaError(
+                f"delta has {rows.shape[0]} row indices but {new.shape[0]} value rows"
+            )
+        if rows.size:
+            if rows.min() < 0:
+                raise DeltaError("delta row indices must be non-negative")
+            if np.any(np.diff(rows) <= 0):
+                order = np.argsort(rows, kind="stable")
+                rows = rows[order]
+                old, new = old[order], new[order]
+                if np.any(np.diff(rows) == 0):
+                    raise DeltaError("delta row indices must be unique")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "old", old)
+        object.__setattr__(self, "new", new)
+        object.__setattr__(self, "num_rows", int(self.num_rows))
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def num_changed(self) -> int:
+        """Number of changed rows ``b``."""
+        return int(self.rows.shape[0])
+
+    @property
+    def width(self) -> int:
+        """Feature count ``d_k`` of the target table."""
+        return int(self.new.shape[1])
+
+    @property
+    def values(self) -> np.ndarray:
+        """The additive change ``Δ = new - old``."""
+        return self.new - self.old
+
+    @property
+    def delta_fraction(self) -> float:
+        """``b / |R_k|`` -- the knob the patch-vs-recompute cost rule reads."""
+        if self.num_rows <= 0:
+            return 1.0
+        return self.num_changed / self.num_rows
+
+    @property
+    def grows(self) -> bool:
+        """Whether any index appends a row beyond ``num_rows``."""
+        return bool(self.rows.size) and int(self.rows.max()) >= self.num_rows
+
+    @property
+    def num_rows_after(self) -> int:
+        """Row count after applying (``num_rows`` unless the delta appends)."""
+        if not self.rows.size:
+            return self.num_rows
+        return max(self.num_rows, int(self.rows.max()) + 1)
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_matrices(cls, old_matrix: MatrixLike, new_matrix: MatrixLike,
+                      version: int = 1, atol: float = 0.0) -> "MatrixDelta":
+        """Capture the row delta between two equal-shaped matrix states."""
+        old_dense = np.asarray(to_dense(ensure_2d(old_matrix)), dtype=np.float64)
+        new_dense = np.asarray(to_dense(ensure_2d(new_matrix)), dtype=np.float64)
+        if old_dense.shape != new_dense.shape:
+            raise DeltaError(
+                f"cannot diff matrices of shapes {old_dense.shape} and {new_dense.shape}; "
+                "row-count changes need an explicit append delta"
+            )
+        changed = ~np.all(np.isclose(old_dense, new_dense, rtol=0.0, atol=atol), axis=1)
+        rows = np.flatnonzero(changed)
+        return cls(rows=rows, old=old_dense[rows], new=new_dense[rows],
+                   num_rows=old_dense.shape[0], version=version)
+
+    @classmethod
+    def upsert(cls, rows, new_values, base_matrix: MatrixLike,
+               version: int = 1) -> "MatrixDelta":
+        """Capture an upsert of *new_values* at *rows* against *base_matrix*."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        new_values = np.asarray(to_dense(ensure_2d(new_values)), dtype=np.float64)
+        base = ensure_2d(base_matrix)
+        n_rows = base.shape[0]
+        old = np.zeros_like(new_values)
+        inside = rows < n_rows
+        if np.any(inside):
+            existing = base[rows[inside], :]
+            old[inside] = np.asarray(to_dense(existing), dtype=np.float64)
+        return cls(rows=rows, old=old, new=new_values, num_rows=n_rows, version=version)
+
+    @classmethod
+    def tombstone(cls, rows, base_matrix: MatrixLike, version: int = 1) -> "MatrixDelta":
+        """Capture a delete-as-tombstone: the rows' features drop to zero."""
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        base = ensure_2d(base_matrix)
+        old = np.asarray(to_dense(base[rows, :]), dtype=np.float64)
+        return cls(rows=rows, old=old, new=np.zeros_like(old),
+                   num_rows=base.shape[0], version=version)
+
+    # -- validation against a concrete matrix ---------------------------------
+
+    def check_against(self, attribute: MatrixLike, allow_growth: bool = False) -> None:
+        """Verify this delta was captured against *attribute*'s current state.
+
+        Guards the algebra: patching with a delta whose ``old`` values do not
+        match the matrix silently corrupts every downstream term, so the
+        mismatch is raised here as :class:`DeltaError` instead.
+        """
+        attribute = ensure_2d(attribute)
+        if self.width != attribute.shape[1]:
+            raise DeltaError(
+                f"delta has {self.width} columns but the table has {attribute.shape[1]}"
+            )
+        if self.num_rows != attribute.shape[0]:
+            raise DeltaError(
+                f"delta was captured at {self.num_rows} rows but the table has "
+                f"{attribute.shape[0]}"
+            )
+        if self.grows and not allow_growth:
+            raise DeltaError(
+                f"delta appends rows beyond {self.num_rows}; only the serving "
+                "partials support growth (rebuild the normalized matrix instead)"
+            )
+        inside = self.rows[self.rows < self.num_rows]
+        if inside.size:
+            current = np.asarray(to_dense(attribute[inside, :]), dtype=np.float64)
+            # rows are sorted, so in-range indices are a prefix of old.
+            expected = self.old[: inside.size]
+            if not np.allclose(current, expected, rtol=0.0, atol=0.0, equal_nan=True):
+                raise DeltaError(
+                    "delta 'old' values disagree with the matrix being patched; "
+                    "the change was captured against a different version"
+                )
+
+    def apply_to(self, attribute: MatrixLike) -> MatrixLike:
+        """The post-delta attribute matrix (dense stays dense, sparse sparse)."""
+        self.check_against(attribute)
+        if is_sparse(attribute):
+            patched = attribute.tolil(copy=True)
+            patched[self.rows, :] = self.new
+            return patched.tocsr()
+        patched = np.array(np.asarray(attribute), dtype=np.float64)
+        patched[self.rows, :] = self.new
+        patched.setflags(write=False)
+        return patched
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MatrixDelta(rows={self.num_changed}/{self.num_rows}, width={self.width}, "
+            f"fraction={self.delta_fraction:.4f}, version={self.version})"
+        )
+
+
+def migrate_lazy_state(predecessor, successor, table_index: int,
+                       delta: "MatrixDelta", policy=None):
+    """Move the lazy identity and cache from *predecessor* to *successor*.
+
+    The successor inherits the predecessor's ``_lazy_token``, so the
+    structural cache keys of expressions built over it keep matching, and its
+    :class:`~repro.core.lazy.cache.FactorizedCache` after the cache has
+    absorbed the delta (each entry patched in place or invalidated, per the
+    policy).  The predecessor is stripped of both: entries patched against
+    post-delta state must never be served to expressions over the pre-delta
+    matrix.  Also bumps the successor's monotonic ``version``.
+    """
+    successor.version = getattr(predecessor, "version", 0) + 1
+    token = predecessor.__dict__.pop("_lazy_token", None)
+    cache = predecessor.__dict__.pop("_lazy_cache", None)
+    if token is not None:
+        successor._lazy_token = token
+    if cache is not None:
+        successor._lazy_cache = cache
+        if token is not None:
+            cache.apply_delta(successor, table_index, delta, policy=policy)
+    return successor
+
+
+# ---------------------------------------------------------------------------
+# Cache-entry patching: one rule per recognized join-invariant term
+# ---------------------------------------------------------------------------
+
+#: Kinds of cached terms the delta rules can patch in place.
+PATCHABLE_KINDS = frozenset({
+    "crossprod", "lmm", "tlmm", "rowsums", "colsums", "total_sum",
+})
+
+
+@dataclass(frozen=True)
+class CachePatchRule:
+    """How to delta-patch one memoized join-invariant cache entry.
+
+    Captured by the lazy evaluator when it stores a recognized node shape
+    (``crossprod(T)``, ``T @ X``, ``T^T @ Y``, the aggregations) built
+    directly over a normalized-matrix leaf.  *token* pins the rule to that
+    leaf's identity so a shared cache never patches another matrix's entry;
+    *operand* holds the constant co-operand (``X`` / ``Y``) where one exists.
+    """
+
+    kind: str
+    token: str
+    operand: Optional[object] = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if self.kind not in PATCHABLE_KINDS:
+            raise DeltaError(f"no delta patch rule for cached term kind {self.kind!r}")
+
+
+def _segment_offset(matrix, table_index: int) -> tuple:
+    """(offset, width) of table *table_index*'s column segment inside ``T``."""
+    entity_width = getattr(matrix, "entity_width", 0)
+    widths = [r.shape[1] for r in matrix.attributes]
+    offset = entity_width + sum(widths[:table_index])
+    return offset, widths[table_index]
+
+
+def patch_cached_value(rule: CachePatchRule, value, matrix, table_index: int,
+                       delta: MatrixDelta):
+    """Return the post-delta replacement for one cached term.
+
+    *matrix* is the **successor** normalized matrix (its ``attributes`` are
+    post-delta); *value* is the pre-delta cached result.  Dense results come
+    back as fresh arrays (cached values are frozen, never mutated in place),
+    so in-flight readers of the old entry are unaffected.
+    """
+    indicator = matrix.indicators[table_index]
+    rows, dvalues = delta.rows, delta.values
+    offset, width = _segment_offset(matrix, table_index)
+    segment = slice(offset, offset + width)
+
+    if rule.kind == "crossprod":
+        entity = getattr(matrix, "entity", None)
+        return delta_rules.patch_crossprod(
+            value, entity, matrix.indicators, matrix.attributes,
+            table_index, rows, delta.old, delta.new,
+        )
+    if rule.kind == "lmm":
+        x_block = ensure_2d(rule.operand)[segment, :]
+        return value + delta_rules.delta_lmm(indicator, rows, dvalues, x_block)
+    if rule.kind == "tlmm":
+        patched = np.array(to_dense(value), dtype=np.float64)
+        patched[segment, :] += delta_rules.delta_tlmm_block(
+            indicator, rows, dvalues, rule.operand
+        )
+        return patched
+    if rule.kind == "rowsums":
+        return value + delta_rules.delta_rowsums(indicator, rows, dvalues)
+    if rule.kind == "colsums":
+        patched = np.array(to_dense(value), dtype=np.float64)
+        patched[:, segment] += delta_rules.delta_colsums_block(indicator, rows, dvalues)
+        return patched
+    if rule.kind == "total_sum":
+        return float(value) + delta_rules.delta_total_sum(indicator, rows, dvalues)
+    raise DeltaError(f"no delta patch rule for cached term kind {rule.kind!r}")

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Hashable, Tuple
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,8 @@ class CacheStats:
     evictions: int
     size: int
     maxsize: int
+    patched: int = 0
+    invalidated: int = 0
 
     @property
     def lookups(self) -> int:
@@ -65,9 +67,13 @@ class FactorizedCache:
             raise ValueError("maxsize must be positive")
         self.maxsize = int(maxsize)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        #: key -> CachePatchRule for entries the delta layer can patch in place.
+        self._patch_rules: Dict[Hashable, Any] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.patched = 0
+        self.invalidated = 0
 
     # -- core protocol -------------------------------------------------------
 
@@ -82,13 +88,24 @@ class FactorizedCache:
         self.hits += 1
         return True, value
 
-    def store(self, key: Hashable, value: Any) -> None:
-        """Insert *value* under *key*, evicting the LRU entry when full."""
+    def store(self, key: Hashable, value: Any, patch_rule: Any = None) -> None:
+        """Insert *value* under *key*, evicting the LRU entry when full.
+
+        *patch_rule* is an optional
+        :class:`~repro.core.delta.CachePatchRule` recorded by the evaluator
+        for entries whose shape it recognizes; :meth:`apply_delta` uses it to
+        patch the entry in place instead of dropping it.
+        """
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = value
+        if patch_rule is not None:
+            self._patch_rules[key] = patch_rule
+        else:
+            self._patch_rules.pop(key, None)
         while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._patch_rules.pop(evicted, None)
             self.evictions += 1
 
     def __contains__(self, key: Hashable) -> bool:
@@ -108,24 +125,100 @@ class FactorizedCache:
         """Snapshot the counters (used by tests and benchmark reports)."""
         return CacheStats(hits=self.hits, misses=self.misses,
                           evictions=self.evictions, size=len(self._entries),
-                          maxsize=self.maxsize)
+                          maxsize=self.maxsize, patched=self.patched,
+                          invalidated=self.invalidated)
 
     def clear(self, reset_stats: bool = False) -> None:
         """Drop all entries; optionally reset the counters too."""
         self._entries.clear()
+        self._patch_rules.clear()
         if reset_stats:
-            self.hits = 0
-            self.misses = 0
-            self.evictions = 0
+            self.reset_counters()
 
     def reset_counters(self) -> None:
         """Zero the hit/miss/eviction counters without touching entries."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.patched = 0
+        self.invalidated = 0
+
+    # -- incremental maintenance ----------------------------------------------
+
+    def patch_rule_for(self, key: Hashable):
+        """The recorded patch rule for *key*, or ``None`` (tests/debugging)."""
+        return self._patch_rules.get(key)
+
+    def apply_delta(self, matrix, table_index: int, delta,
+                    policy: Optional[object] = None) -> "CacheStats":
+        """Absorb a row delta to ``matrix.attributes[table_index]`` in place.
+
+        *matrix* is the **successor** normalized matrix produced by
+        ``apply_delta`` on the data matrix (post-delta attributes, same lazy
+        identity token as its predecessor, so structural keys keep
+        matching).  Three-way treatment of every entry:
+
+        * entries whose key does not involve the matrix's leaf token belong
+          to other operands sharing this cache -- kept untouched;
+        * entries with a recorded patch rule for this token are **patched**
+          via the rank-|Δ| rules of :mod:`repro.core.rewrite.delta` when the
+          *policy* (a :class:`~repro.core.planner.delta_policy.DeltaPolicy`)
+          rules patching cheaper, and counted in ``patched``;
+        * everything else involving the token is **invalidated** -- the
+          conservative fallback that keeps correctness independent of how
+          exotic the cached expression was.
+
+        Returns the post-delta :meth:`stats` snapshot.
+        """
+        import numpy as np
+
+        from repro.core.delta import patch_cached_value
+        from repro.core.planner.delta_policy import DEFAULT_DELTA_POLICY
+
+        policy = policy or DEFAULT_DELTA_POLICY
+        token = getattr(matrix, "_lazy_token", None)
+        attribute = matrix.attributes[table_index]
+        fan_in = matrix.logical_rows / max(attribute.shape[0], 1)
+        for key in list(self._entries):
+            if token is None or not _key_involves(key, token):
+                continue
+            rule = self._patch_rules.get(key)
+            patchable = (
+                rule is not None
+                and getattr(rule, "token", None) == token
+                and policy.should_patch(delta, attribute.shape[0],
+                                        width=attribute.shape[1], fan_in=fan_in)
+            )
+            if patchable:
+                patched = patch_cached_value(rule, self._entries[key], matrix,
+                                             table_index, delta)
+                if isinstance(patched, np.ndarray):
+                    patched.setflags(write=False)
+                self._entries[key] = patched
+                self.patched += 1
+            else:
+                del self._entries[key]
+                self._patch_rules.pop(key, None)
+                self.invalidated += 1
+        return self.stats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FactorizedCache(size={len(self._entries)}/{self.maxsize}, "
-            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions})"
+            f"hits={self.hits}, misses={self.misses}, evictions={self.evictions}, "
+            f"patched={self.patched}, invalidated={self.invalidated})"
         )
+
+
+def _key_involves(key, token: str) -> bool:
+    """Whether a structural cache key references the leaf identity *token*.
+
+    Keys are nested tuples; leaves contribute ``("leaf", type_name, token)``
+    triples (see :class:`~repro.core.lazy.expr.LeafExpr`), so a recursive
+    scan for the token string is exact -- no false negatives, and false
+    positives would need a content-digest collision with an ``obj-N`` token,
+    which cannot happen (the namespaces are disjoint).
+    """
+    if isinstance(key, tuple):
+        return any(_key_involves(part, token) for part in key)
+    return key == token

@@ -79,7 +79,7 @@ def _evaluate(node: LazyExpr, cache: Optional[FactorizedCache],
         found, result = cache.lookup(node.key)
         if not found:
             result = _freeze(_compute(node, cache, memo))
-            cache.store(node.key, result)
+            cache.store(node.key, result, patch_rule=_patch_rule(node, memo))
     else:
         result = _compute(node, cache, memo)
 
@@ -99,6 +99,66 @@ def _freeze(value: Any) -> Any:
     if isinstance(value, np.ndarray):
         value.setflags(write=False)
     return value
+
+
+#: Aggregation operators whose cached result the delta layer can patch.
+_AGG_KINDS = {"rowsums": "rowsums", "colsums": "colsums", "total_sum": "total_sum"}
+
+
+def _normalized_leaf_token(expr: LazyExpr) -> Optional[str]:
+    """The leaf identity token when *expr* wraps an untransposed normalized matrix.
+
+    Duck-typed (``indicators`` + ``attributes``) to avoid importing the matrix
+    classes here; transposed views are excluded because the delta rules are
+    stated over ``T``, not ``T^T``.
+    """
+    if not isinstance(expr, LeafExpr):
+        return None
+    value = expr.value
+    if getattr(value, "transposed", False):
+        return None
+    if hasattr(value, "indicators") and hasattr(value, "attributes"):
+        token = getattr(value, "_lazy_token", None)
+        if token is not None and expr.token == token:
+            return token
+    return None
+
+
+def _patch_rule(node: LazyExpr, memo: Dict[int, Any]):
+    """A :class:`~repro.core.delta.CachePatchRule` for recognized node shapes.
+
+    Recognized: ``crossprod(T)``, ``T @ X``, ``T^T @ Y`` and the aggregations,
+    each built directly over a normalized-matrix leaf with any co-operand
+    independent of that leaf (checked structurally on the co-operand's key).
+    Everything else returns ``None`` and falls back to full invalidation on
+    delta -- unrecognized shapes cost correctness nothing, only reuse.
+    """
+    from repro.core.delta import CachePatchRule
+    from repro.core.lazy.cache import _key_involves
+
+    op = node.op
+    if op == "crossprod":
+        token = _normalized_leaf_token(node.children[0])
+        if token is not None:
+            return CachePatchRule("crossprod", token)
+    elif op in _AGG_KINDS:
+        token = _normalized_leaf_token(node.children[0])
+        if token is not None:
+            return CachePatchRule(_AGG_KINDS[op], token)
+    elif op == "matmul":
+        left, right = node.children
+        token = _normalized_leaf_token(left)
+        if token is not None and not _key_involves(right.key, token):
+            operand = memo.get(id(right))
+            if operand is not None:
+                return CachePatchRule("lmm", token, operand=operand)
+        if left.op == "transpose":
+            token = _normalized_leaf_token(left.children[0])
+            if token is not None and not _key_involves(right.key, token):
+                operand = memo.get(id(right))
+                if operand is not None:
+                    return CachePatchRule("tlmm", token, operand=operand)
+    return None
 
 
 def _compute(node: LazyExpr, cache: Optional[FactorizedCache],

@@ -103,6 +103,31 @@ class MNNormalizedMatrix:
             validate=False, crossprod_method=self.crossprod_method,
         )
 
+    # -- incremental maintenance ----------------------------------------------
+
+    #: Monotonic delta version: 0 at construction, bumped by :meth:`apply_delta`.
+    version = 0
+
+    def apply_delta(self, table_index: int, delta, policy=None) -> "MNNormalizedMatrix":
+        """Successor matrix with *delta* applied to component table *table_index*.
+
+        Semantics as :meth:`NormalizedMatrix.apply_delta
+        <repro.core.normalized_matrix.NormalizedMatrix.apply_delta>`: a new
+        matrix sharing unchanged components, lazy cache migrated with each
+        memoized term patched or invalidated, version bumped.
+        """
+        from repro.core.delta import migrate_lazy_state
+
+        if not 0 <= table_index < self.num_components:
+            raise IndexError(
+                f"table_index {table_index} out of range for "
+                f"{self.num_components} components"
+            )
+        attributes = list(self.attributes)
+        attributes[table_index] = delta.apply_to(attributes[table_index])
+        successor = self._with_attributes(attributes)
+        return migrate_lazy_state(self, successor, table_index, delta, policy)
+
     # -- shape and metadata -------------------------------------------------------
 
     @property

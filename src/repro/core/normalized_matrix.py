@@ -68,6 +68,9 @@ class NormalizedMatrix:
     __array_ufunc__ = None
     __array_priority__ = 1000
 
+    #: Monotonic delta version: 0 at construction, bumped by :meth:`apply_delta`.
+    version = 0
+
     def __init__(self, entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
                  attributes: Sequence[MatrixLike], transposed: bool = False,
                  validate: bool = True, crossprod_method: str = "efficient"):
@@ -250,6 +253,36 @@ class NormalizedMatrix:
             new_entity, new_indicators, self.attributes, transposed=False,
             validate=False, crossprod_method=self.crossprod_method,
         )
+
+    # -- incremental maintenance ----------------------------------------------
+
+    def apply_delta(self, table_index: int, delta,
+                    policy=None) -> "NormalizedMatrix":
+        """Successor matrix with *delta* applied to attribute table *table_index*.
+
+        Base matrices are immutable, so a row delta produces a **new**
+        normalized matrix sharing every unchanged component; the predecessor
+        stays valid for in-flight readers.  The attached lazy
+        :class:`~repro.core.lazy.cache.FactorizedCache` (if any) migrates to
+        the successor, with each memoized join-invariant term either patched
+        in place via the rank-``|Δ|`` rules of
+        :mod:`repro.core.rewrite.delta` or invalidated, as the *policy* (a
+        :class:`~repro.core.planner.delta_policy.DeltaPolicy`) decides.  The
+        successor's :attr:`version` is the predecessor's plus one.
+
+        Deltas that append rows are rejected (:class:`~repro.exceptions.DeltaError`)
+        -- row growth changes indicator shapes and needs a rebuild.
+        """
+        from repro.core.delta import migrate_lazy_state
+
+        if not 0 <= table_index < self.num_joins:
+            raise IndexError(
+                f"table_index {table_index} out of range for {self.num_joins} joins"
+            )
+        attributes = list(self.attributes)
+        attributes[table_index] = delta.apply_to(attributes[table_index])
+        successor = self._with_components(self.entity, attributes)
+        return migrate_lazy_state(self, successor, table_index, delta, policy)
 
     # -- streaming mini-batch execution -------------------------------------------
 

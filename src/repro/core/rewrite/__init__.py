@@ -20,6 +20,13 @@ cross-product, the two LMM multiplication orders) without touching the
 ``NormalizedMatrix`` classes.
 """
 
-from repro.core.rewrite import aggregation, crossprod, inversion, multiplication, scalar_ops
+from repro.core.rewrite import (
+    aggregation,
+    crossprod,
+    delta,
+    inversion,
+    multiplication,
+    scalar_ops,
+)
 
-__all__ = ["aggregation", "crossprod", "inversion", "multiplication", "scalar_ops"]
+__all__ = ["aggregation", "crossprod", "delta", "inversion", "multiplication", "scalar_ops"]

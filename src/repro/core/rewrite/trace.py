@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.core.rewrite import aggregation
 from repro.core.rewrite import crossprod as crossprod_rules
+from repro.core.rewrite import delta as delta_rules
 from repro.core.rewrite import inversion, multiplication, scalar_ops
 
 #: Primitive names whose calls constitute the rewritten operator tree.
@@ -40,7 +41,8 @@ PRIMITIVES = frozenset({
 })
 
 #: The rewrite modules whose primitive calls are intercepted.
-REWRITE_MODULES = (aggregation, crossprod_rules, inversion, multiplication, scalar_ops)
+REWRITE_MODULES = (aggregation, crossprod_rules, delta_rules, inversion,
+                   multiplication, scalar_ops)
 
 
 class RewriteTrace:
@@ -216,6 +218,73 @@ def table1_traces() -> Dict[str, dict]:
     for name, op in mn_ops.items():
         with trace_rewrites(mn_args) as tracer:
             op(mn)
+        traces[name] = {"schema": "canonical-mn", "operator": name,
+                        "steps": tracer.steps}
+
+    traces.update(_delta_traces(star, star_named, x, y, mn, mn_named, x_mn))
+    return traces
+
+
+def _delta_traces(star, star_named, x, y, mn, mn_named, x_mn) -> Dict[str, dict]:
+    """Trace the rank-|Δ| delta rules on the canonical schemas.
+
+    A deterministic two-row delta on table/component 1; the delta operands
+    get their own names (``D`` = new - old, ``Dold`` / ``Dnew`` the row
+    values, ``G`` the pre-delta Gram matrix, ``R1p`` the post-delta table).
+    """
+    rng = np.random.default_rng(11)
+    traces: Dict[str, dict] = {}
+
+    rows = np.array([0, 2])
+    r1 = star.attributes[0]
+    d_old = np.array(r1[rows, :])
+    d_new = d_old + rng.standard_normal(d_old.shape)
+    dvals = d_new - d_old
+    r1p = np.array(r1)
+    r1p[rows, :] = d_new
+    gram = star.crossprod()
+    k1 = star_named["K1"]
+    x_block = x[star.entity_width:star.entity_width + r1.shape[1], :]
+    star_delta_ops = {
+        "star_delta_lmm": lambda: delta_rules.delta_lmm(k1, rows, dvals, x_block),
+        "star_delta_transposed_lmm": lambda: delta_rules.delta_tlmm_block(
+            k1, rows, dvals, y),
+        "star_delta_rowsums": lambda: delta_rules.delta_rowsums(k1, rows, dvals),
+        "star_delta_colsums": lambda: delta_rules.delta_colsums_block(k1, rows, dvals),
+        "star_delta_total_sum": lambda: delta_rules.delta_total_sum(k1, rows, dvals),
+        "star_delta_crossprod": lambda: delta_rules.patch_crossprod(
+            gram, star.entity, star.indicators, [r1p, star.attributes[1]],
+            0, rows, d_old, d_new),
+    }
+    star_args = dict(star_named, X=x, Y=y, D=dvals, Dold=d_old, Dnew=d_new,
+                     G=gram, R1p=r1p)
+    for name, op in star_delta_ops.items():
+        with trace_rewrites(star_args) as tracer:
+            op()
+        traces[name] = {"schema": "canonical-star", "operator": name,
+                        "steps": tracer.steps}
+
+    rows_mn = np.array([1, 3])
+    r1_mn = mn.attributes[0]
+    d_old_mn = np.array(r1_mn[rows_mn, :])
+    d_new_mn = d_old_mn + rng.standard_normal(d_old_mn.shape)
+    dvals_mn = d_new_mn - d_old_mn
+    r1p_mn = np.array(r1_mn)
+    r1p_mn[rows_mn, :] = d_new_mn
+    gram_mn = mn.crossprod()
+    i1 = mn_named["I1"]
+    mn_delta_ops = {
+        "mn_delta_lmm": lambda: delta_rules.delta_lmm(
+            i1, rows_mn, dvals_mn, x_mn[: r1_mn.shape[1], :]),
+        "mn_delta_crossprod": lambda: delta_rules.patch_crossprod(
+            gram_mn, None, mn.indicators, [r1p_mn, mn.attributes[1]],
+            0, rows_mn, d_old_mn, d_new_mn),
+    }
+    mn_args = dict(mn_named, X=x_mn, D=dvals_mn, Dold=d_old_mn, Dnew=d_new_mn,
+                   G=gram_mn, R1p=r1p_mn)
+    for name, op in mn_delta_ops.items():
+        with trace_rewrites(mn_args) as tracer:
+            op()
         traces[name] = {"schema": "canonical-mn", "operator": name,
                         "steps": tracer.steps}
     return traces

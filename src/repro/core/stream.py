@@ -283,6 +283,24 @@ class StreamedMatrix:
             transform=self._transform if transform is None else transform,
         )
 
+    def apply_delta(self, table_index: int, delta, policy=None) -> "StreamedMatrix":
+        """Streamed view over the post-delta source (see the source's method).
+
+        Only meaningful for normalized sources; the delta is applied to the
+        wrapped matrix and the streaming parameters (batch size, transpose
+        flag, pending transform) carry over unchanged.
+        """
+        if not hasattr(self.source, "apply_delta"):
+            raise NotSupportedError(
+                f"cannot delta-patch a streamed {type(self.source).__name__}: "
+                "the source has no apply_delta surface"
+            )
+        patched = self.source.apply_delta(table_index, delta, policy=policy)
+        return StreamedMatrix(
+            patched, batch_rows=self.batch_rows, transposed=self.transposed,
+            transform=self._transform,
+        )
+
     def _batch_operand(self, data):
         """One batch's operand with the pending transform applied (if any).
 

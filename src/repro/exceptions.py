@@ -51,6 +51,16 @@ class PlanningError(MorpheusError):
     """
 
 
+class DeltaError(MorpheusError):
+    """Raised when an incremental-maintenance delta cannot be applied.
+
+    Examples include a delta whose ``old`` values disagree with the matrix
+    being patched (the change was captured against a different version), row
+    indices outside the target table, or a non-patchable change (a physical
+    delete that renumbers rows) routed to a patch-only consumer.
+    """
+
+
 class ServingError(MorpheusError):
     """Raised for invalid requests to the model-serving subsystem.
 

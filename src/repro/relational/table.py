@@ -22,10 +22,12 @@ class Table:
     """A named, column-oriented table with equal-length column arrays."""
 
     def __init__(self, name: str, columns: Mapping[str, Sequence],
-                 schema: Optional[TableSchema] = None):
+                 schema: Optional[TableSchema] = None, version: int = 0):
         if not columns:
             raise SchemaError(f"table {name!r} must have at least one column")
         self.name = name
+        #: Monotonic change version; bumped by :meth:`upsert_rows` / :meth:`delete_rows`.
+        self.version = int(version)
         self._columns: Dict[str, np.ndarray] = {}
         length = None
         for col_name, values in columns.items():
@@ -38,7 +40,14 @@ class Table:
                 raise SchemaError(
                     f"column {col_name!r} has {arr.shape[0]} rows, expected {length}"
                 )
-            self._columns[col_name] = arr
+            # Stored as read-only views: every cache keyed off this table (key
+            # position indexes, lazy-layer memoization, serving partials)
+            # assumes column data never changes in place.  Mutations must go
+            # through the delta API (upsert_rows / delete_rows), which
+            # produces a successor table and a capturable delta instead.
+            view = arr.view()
+            view.setflags(write=False)
+            self._columns[col_name] = view
         self._num_rows = int(length or 0)
         self.schema = schema or self._infer_schema()
         missing = [c for c in self.schema.column_names if c not in self._columns]
@@ -124,6 +133,119 @@ class Table:
         cols[name] = np.asarray(values)
         return Table(self.name, cols)
 
+    # -- change capture (incremental maintenance) -------------------------------
+
+    def _feature_names(self, feature_columns: Optional[Sequence[str]] = None) -> List[str]:
+        """The columns a captured delta covers (default: schema numeric columns)."""
+        if feature_columns is not None:
+            return list(feature_columns)
+        return [c.name for c in self.schema.columns if c.ctype is ColumnType.NUMERIC]
+
+    def _capture_delta(self, rows: np.ndarray, new_features: np.ndarray,
+                       names: Sequence[str], version: int):
+        """A :class:`~repro.core.delta.MatrixDelta` over the feature columns.
+
+        ``O(b·d)`` -- reads only the changed rows, never the whole table.
+        """
+        from repro.core.delta import MatrixDelta
+
+        mask = rows < self._num_rows
+        old = np.zeros((rows.size, len(names)), dtype=np.float64)
+        if mask.any():
+            for j, name in enumerate(names):
+                old[mask, j] = self._columns[name][rows[mask]].astype(np.float64)
+        return MatrixDelta(rows=rows, old=old, new=new_features,
+                           num_rows=self._num_rows, version=version)
+
+    def upsert_rows(self, row_indices, updates: Mapping[str, Sequence],
+                    feature_columns: Optional[Sequence[str]] = None):
+        """Row-level upsert: returns ``(successor_table, feature_delta)``.
+
+        *row_indices* are positions to update; indices at or beyond
+        :attr:`num_rows` append, and appends must be contiguous from the end
+        (row numbering is what every indicator matrix and cached position
+        index is built on).  *updates* maps column name -> one value per
+        index; appended rows must provide every column.  The successor shares
+        unchanged column arrays, carries :attr:`version` + 1, and starts with
+        fresh caches; the returned delta covers *feature_columns* (default:
+        the schema's numeric columns) and feeds ``apply_delta`` on normalized
+        matrices and scorers.  This table is untouched.
+        """
+        rows = np.asarray(row_indices, dtype=np.int64).ravel()
+        updates = {name: np.asarray(values) for name, values in updates.items()}
+        for name, values in updates.items():
+            if name not in self._columns:
+                raise SchemaError(f"table {self.name!r} has no column {name!r}")
+            if values.shape != (rows.size,):
+                raise SchemaError(
+                    f"column {name!r}: got {values.shape} update values for "
+                    f"{rows.size} row indices"
+                )
+        if rows.size and rows.min() < 0:
+            raise SchemaError("row indices must be non-negative")
+        new_len = int(max(self._num_rows, rows.max() + 1)) if rows.size else self._num_rows
+        if new_len > self._num_rows:
+            appended = set(rows[rows >= self._num_rows].tolist())
+            expected = set(range(self._num_rows, new_len))
+            if appended != expected:
+                raise SchemaError(
+                    f"appended row indices must be contiguous from {self._num_rows}; "
+                    f"missing {sorted(expected - appended)}"
+                )
+            missing = [c for c in self._columns if c not in updates]
+            if missing:
+                raise SchemaError(
+                    f"appending rows requires a value for every column; missing {missing}"
+                )
+
+        cols: Dict[str, np.ndarray] = {}
+        for name, arr in self._columns.items():
+            values = updates.get(name)
+            if values is None:
+                cols[name] = arr  # unchanged: shared with the predecessor
+                continue
+            dtype = np.result_type(arr.dtype, values.dtype) if values.size else arr.dtype
+            col = np.empty(new_len, dtype=dtype)
+            col[: self._num_rows] = arr
+            col[rows] = values
+            cols[name] = col
+        successor = Table(self.name, cols, schema=self.schema, version=self.version + 1)
+
+        names = self._feature_names(feature_columns)
+        new_features = np.zeros((rows.size, len(names)), dtype=np.float64)
+        for j, name in enumerate(names):
+            source = updates.get(name)
+            if source is not None:
+                new_features[:, j] = source.astype(np.float64)
+            else:
+                mask = rows < self._num_rows
+                new_features[mask, j] = self._columns[name][rows[mask]].astype(np.float64)
+        return successor, self._capture_delta(rows, new_features, names, successor.version)
+
+    def delete_rows(self, row_indices, feature_columns: Optional[Sequence[str]] = None):
+        """Tombstone delete: returns ``(successor_table, feature_delta)``.
+
+        The rows' feature columns drop to zero but the rows (and their keys)
+        remain, preserving row numbering -- a physical delete would renumber
+        every row behind it and invalidate all indicator matrices and cached
+        position indexes at once.  The delta is the zeroing, so downstream
+        patches remove exactly the rows' contributions.
+        """
+        rows = np.asarray(row_indices, dtype=np.int64).ravel()
+        if rows.size and (rows.min() < 0 or rows.max() >= self._num_rows):
+            raise SchemaError(
+                f"delete indices must be within 0..{self._num_rows - 1}"
+            )
+        names = self._feature_names(feature_columns)
+        cols = dict(self._columns)
+        for name in names:
+            col = np.array(self._columns[name])
+            col[rows] = 0
+            cols[name] = col
+        successor = Table(self.name, cols, schema=self.schema, version=self.version + 1)
+        zeros = np.zeros((rows.size, len(names)), dtype=np.float64)
+        return successor, self._capture_delta(rows, zeros, names, successor.version)
+
     # -- key utilities ----------------------------------------------------------
 
     def key_position_index(self, key_column: str) -> Dict[object, int]:
@@ -150,10 +272,10 @@ class Table:
         This is the serving-time bridge from natural keys (product ids,
         account numbers) to the attribute-table row indices the factorized
         scorer gathers partial scores with.  The position index is built
-        once per ``(table, column)`` and cached on the table, relying on the
-        library-wide convention that base data is treated as immutable
-        (mutating a column array in place invalidates no caches -- same
-        contract as the lazy layer's FactorizedCache); unknown keys raise
+        once per ``(table, column)`` and cached on the table; this is safe
+        because column arrays are stored read-only -- in-place writes raise,
+        and the sanctioned mutation path (``upsert_rows`` / ``delete_rows``)
+        returns a successor table with fresh caches.  Unknown keys raise
         :class:`SchemaError`.
         """
         cache = getattr(self, "_key_indexes", None)

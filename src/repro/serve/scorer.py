@@ -327,6 +327,48 @@ class FactorizedScorer:
             return rebuild()
         return self._snapshots.submit(rebuild)
 
+    def apply_delta(self, table, delta, wait: bool = True):
+        """Absorb a row delta into one table's partial scores incrementally.
+
+        The cheap freshness path: where :meth:`update_table` recomputes the
+        whole ``n_Rk x m`` partial from a replacement table,
+        this recomputes only the delta's ``b`` changed rows (``new @ W_k``)
+        and publishes the patched partial with the same atomic swap -- for
+        serving partials the patch is *always* at least as cheap as a
+        rebuild, so no cost rule is consulted.  Row appends are allowed
+        (``delta.num_rows`` must match the current partial, indices beyond it
+        extend it); tombstone deletes zero the rows' contribution.  With
+        ``wait=False`` the patch runs on the background worker.
+        """
+        segment = self._resolve_table(table)
+        if delta.width != segment.width:
+            raise SchemaMismatchError(
+                f"{segment.name} has {segment.width} features but the delta has "
+                f"{delta.width} (schema changes need a re-export)"
+            )
+        weight_slice = self.export.weights[segment.slice()]
+        position = self._table_segments.index(segment)
+
+        def patch() -> ServingSnapshot:
+            # The row-count check runs inside the swap's writer lock (via this
+            # closure) against the snapshot actually being patched, so a
+            # concurrent grow/shrink on the same table cannot invalidate it.
+            def update(snap: ServingSnapshot) -> ServingSnapshot:
+                current_rows = snap.partials[position].shape[0]
+                if delta.num_rows != current_rows:
+                    raise ServingError(
+                        f"delta for {segment.name} was captured at {delta.num_rows} "
+                        f"rows but the serving partial has {current_rows}; "
+                        "recapture against the current table state"
+                    )
+                return snap.with_patched_partial(position, delta, weight_slice)
+
+            return self._snapshots.swap(update)
+
+        if wait:
+            return patch()
+        return self._snapshots.submit(patch)
+
     def _resolve_table(self, table):
         if isinstance(table, str):
             for segment in self._table_segments:

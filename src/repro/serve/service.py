@@ -206,6 +206,14 @@ class ScoringService:
         """
         return self.scorer.update_table(table, new_attribute, wait=wait)
 
+    def apply_delta(self, table, delta, wait: bool = True):
+        """Patch one table's partial from a row delta (see ``FactorizedScorer.apply_delta``).
+
+        Same cache story as :meth:`update_table`: the swap bumps the snapshot
+        version, so stale cached point scores become unreachable.
+        """
+        return self.scorer.apply_delta(table, delta, wait=wait)
+
     def stats(self) -> Dict[str, int]:
         """Service counters (requests, micro-batches, cache hits/misses)."""
         with self._lock:

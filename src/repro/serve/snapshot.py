@@ -47,6 +47,31 @@ def compute_partial(attribute: MatrixLike, weight_slice: np.ndarray) -> np.ndarr
     return partial
 
 
+def patch_partial(partial: np.ndarray, delta, weight_slice: np.ndarray) -> np.ndarray:
+    """The post-delta partial: only the ``b`` changed rows recomputed.
+
+    ``partial = R_k @ W_k`` is linear in the table rows, so a row delta
+    replaces exactly the changed rows -- ``partial'[ρ] = new[ρ] @ W_k`` --
+    at ``O(b·d_k·m)`` cost, versus ``O(n_Rk·d_k·m)`` for
+    :func:`compute_partial` from scratch.  Appending rows (``delta.grows``)
+    extends the partial; new row positions not named by the delta score
+    zero, matching the tombstone convention.  Returns a fresh read-only
+    array -- the input snapshot's partial is shared and never mutated.
+    """
+    changed = np.asarray(to_dense(delta.new @ weight_slice), dtype=np.float64)
+    if changed.ndim == 1:
+        changed = changed.reshape(-1, 1)
+    rows_after = max(partial.shape[0], delta.num_rows_after)
+    if rows_after > partial.shape[0]:
+        patched = np.zeros((rows_after, partial.shape[1]), dtype=np.float64)
+        patched[: partial.shape[0]] = partial
+    else:
+        patched = np.array(partial, dtype=np.float64)
+    patched[delta.rows, :] = changed
+    patched.setflags(write=False)
+    return patched
+
+
 class ServingSnapshot:
     """One immutable, internally consistent serving state.
 
@@ -67,6 +92,12 @@ class ServingSnapshot:
         partials = list(self.partials)
         partials[table_index] = partial
         return ServingSnapshot(tuple(partials), self.version + 1)
+
+    def with_patched_partial(self, table_index: int, delta,
+                             weight_slice: np.ndarray) -> "ServingSnapshot":
+        """A successor with one partial delta-patched (see :func:`patch_partial`)."""
+        patched = patch_partial(self.partials[table_index], delta, weight_slice)
+        return self.with_partial(table_index, patched)
 
     @property
     def partial_bytes(self) -> int:
@@ -102,6 +133,21 @@ class SnapshotManager:
             snapshot = update(self._snapshot)
             self._snapshot = snapshot
         return snapshot
+
+    def apply_delta(self, table_index: int, delta,
+                    weight_slice: np.ndarray) -> ServingSnapshot:
+        """Atomically publish a delta-patched partial for one table.
+
+        The ``O(b·m)`` patch runs **inside** the writer lock so it always
+        applies to the latest snapshot -- concurrent deltas and full
+        ``update_table`` rebuilds on other tables compose instead of losing
+        updates.  Readers are untouched: they hold either the pre- or the
+        post-delta snapshot, never a mix (the patched partial is a fresh
+        array, the swap a single reference assignment).
+        """
+        return self.swap(
+            lambda snap: snap.with_patched_partial(table_index, delta, weight_slice)
+        )
 
     def submit(self, task: Callable[[], ServingSnapshot]) -> "Future[ServingSnapshot]":
         """Run *task* (rebuild + swap) on the single background worker."""

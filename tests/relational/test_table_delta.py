@@ -1,0 +1,136 @@
+"""Change capture on :class:`repro.relational.table.Table`.
+
+Covers the mutation-hazard regression (column arrays are read-only, so the
+cached key position index can never go stale silently) and the delta API:
+``upsert_rows`` / ``delete_rows`` return a successor table plus a
+:class:`~repro.core.delta.MatrixDelta` over the feature columns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.delta import MatrixDelta
+from repro.exceptions import SchemaError
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def products() -> Table:
+    return Table("products", {
+        "sku": np.array([10, 11, 12, 13]),
+        "price": np.array([9.0, 2.0, 5.0, 7.0]),
+        "weight": np.array([1.0, 4.0, 2.0, 3.0]),
+        "label": np.array(["a", "b", "c", "d"]),
+    })
+
+
+class TestReadOnlyColumns:
+    def test_in_place_column_write_raises(self, products):
+        with pytest.raises(ValueError):
+            products.column("price")[0] = 100.0
+
+    def test_every_column_is_read_only(self, products):
+        for name in products.column_names:
+            assert not products.column(name).flags.writeable
+
+    def test_key_index_cannot_go_stale(self, products):
+        """The regression behind the hazard: mutate a key column after the
+        position index is cached and lookups silently return wrong rows.
+        With read-only columns the mutation itself raises instead."""
+        positions = products.positions_for_keys("sku", [12])
+        np.testing.assert_array_equal(positions, [2])
+        with pytest.raises(ValueError):
+            products.column("sku")[2] = 99
+        np.testing.assert_array_equal(products.positions_for_keys("sku", [12]), [2])
+
+    def test_caller_array_not_frozen(self):
+        mine = np.array([1.0, 2.0])
+        Table("t", {"x": mine})
+        mine[0] = 5.0  # the table holds a read-only *view*, not my array
+
+
+class TestUpsertRows:
+    def test_successor_and_version(self, products):
+        successor, delta = products.upsert_rows([1], {"price": [3.5]})
+        assert successor.version == products.version + 1
+        assert delta.version == successor.version
+        assert successor.column("price")[1] == 3.5
+        # predecessor untouched, unchanged columns shared
+        assert products.column("price")[1] == 2.0
+        assert np.shares_memory(successor.column("weight"), products.column("weight"))
+
+    def test_delta_matches_column_change(self, products):
+        _, delta = products.upsert_rows([0, 2], {"price": [1.0, 2.0]},
+                                        feature_columns=["price", "weight"])
+        assert isinstance(delta, MatrixDelta)
+        np.testing.assert_array_equal(delta.rows, [0, 2])
+        np.testing.assert_allclose(delta.old, [[9.0, 1.0], [5.0, 2.0]])
+        np.testing.assert_allclose(delta.new, [[1.0, 1.0], [2.0, 2.0]])
+        assert delta.num_rows == 4 and not delta.grows
+
+    def test_append_rows(self, products):
+        successor, delta = products.upsert_rows(
+            [4, 5],
+            {"sku": [14, 15], "price": [6.0, 8.0], "weight": [1.5, 2.5],
+             "label": ["e", "f"]},
+        )
+        assert successor.num_rows == 6
+        assert delta.grows and delta.num_rows_after == 6
+        np.testing.assert_array_equal(successor.positions_for_keys("sku", [15]), [5])
+
+    def test_append_must_be_contiguous(self, products):
+        with pytest.raises(SchemaError, match="contiguous"):
+            products.upsert_rows([6], {"sku": [14], "price": [6.0],
+                                       "weight": [1.5], "label": ["e"]})
+
+    def test_append_needs_every_column(self, products):
+        with pytest.raises(SchemaError, match="every column"):
+            products.upsert_rows([4], {"price": [6.0]})
+
+    def test_unknown_column_rejected(self, products):
+        with pytest.raises(SchemaError, match="no column"):
+            products.upsert_rows([0], {"colour": ["red"]})
+
+    def test_value_count_mismatch_rejected(self, products):
+        with pytest.raises(SchemaError, match="update values"):
+            products.upsert_rows([0, 1], {"price": [1.0]})
+
+
+class TestDeleteRows:
+    def test_tombstone_keeps_numbering(self, products):
+        successor, delta = products.delete_rows([1],
+                                                feature_columns=["price", "weight"])
+        assert successor.num_rows == products.num_rows
+        np.testing.assert_allclose(successor.column("price"), [9.0, 0.0, 5.0, 7.0])
+        assert successor.column("sku")[1] == 11  # key survives the tombstone
+        np.testing.assert_allclose(delta.old, [[2.0, 4.0]])
+        np.testing.assert_allclose(delta.new, [[0.0, 0.0]])
+
+    def test_out_of_range_rejected(self, products):
+        with pytest.raises(SchemaError, match="within"):
+            products.delete_rows([4])
+
+
+class TestDeltaFlowsDownstream:
+    def test_captured_delta_patches_a_normalized_matrix(self, products):
+        from scipy import sparse
+
+        from repro.core.normalized_matrix import NormalizedMatrix
+
+        codes = np.array([0, 1, 1, 3, 2, 0])
+        K = sparse.csr_matrix(
+            (np.ones(6), (np.arange(6), codes)), shape=(6, 4)
+        )
+        R = products.numeric_matrix(["price", "weight"])
+        T = NormalizedMatrix(None, [K], [R])
+        successor, delta = products.upsert_rows(
+            [1], {"price": [3.5]}, feature_columns=["price", "weight"]
+        )
+        patched = T.apply_delta(0, delta)
+        rebuilt = NormalizedMatrix(
+            None, [K], [successor.numeric_matrix(["price", "weight"])]
+        )
+        np.testing.assert_allclose(
+            np.asarray(patched.to_dense()), np.asarray(rebuilt.to_dense())
+        )
+        assert patched.version == T.version + 1

@@ -1,0 +1,232 @@
+"""Concurrency and exactness of the delta-patched serving path.
+
+These tests pin the ``apply_delta`` contract on
+:class:`~repro.serve.snapshot.SnapshotManager` /
+:class:`~repro.serve.scorer.FactorizedScorer`:
+
+* readers racing a stream of deltas observe only **pre- or post-delta
+  states** from the published chain -- never a torn mixture;
+* after the stream, the serving state is **bit-for-bit identical** to a
+  from-scratch rebuild on the final table.
+
+Bit-for-bit comparisons are made meaningful by using integer-valued float64
+data everywhere: all products and sums are then exact in IEEE-754 (well
+inside the 2^53 integer window), so the patched path (changed rows times
+weights) and the rebuilt path (whole table times weights) must agree to the
+last bit regardless of summation order, and reader results can be matched
+against the expected state chain with ``np.array_equal`` instead of a
+tolerance that could mask a torn read.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.delta import MatrixDelta
+from repro.core.normalized_matrix import NormalizedMatrix
+from repro.exceptions import ServingError
+from repro.ml import ServingExport
+from repro.serve import FactorizedScorer
+from repro.serve.snapshot import compute_partial
+
+
+def _int_matrix(rng: np.random.Generator, shape) -> np.ndarray:
+    """Small integer-valued float64 matrix: exact under any summation order."""
+    return rng.integers(-5, 6, size=shape).astype(np.float64)
+
+
+def _build(seed=0, n_s=64, n_r=12, d_s=2, d_r=3, m=2):
+    rng = np.random.default_rng(seed)
+    entity = _int_matrix(rng, (n_s, d_s))
+    codes = rng.integers(0, n_r, n_s)
+    indicator = sparse.csr_matrix(
+        (np.ones(n_s), (np.arange(n_s), codes)), shape=(n_s, n_r)
+    )
+    table = _int_matrix(rng, (n_r, d_r))
+    normalized = NormalizedMatrix(entity, [indicator], [table])
+    export = ServingExport("linear_regression", _int_matrix(rng, (d_s + d_r, m)))
+    return normalized, table, export, rng
+
+
+def _delta_chain(rng: np.random.Generator, table: np.ndarray, steps: int):
+    """A chain of integer-valued deltas and the table state after each."""
+    deltas, tables = [], [table]
+    current = table
+    for step in range(steps):
+        b = int(rng.integers(1, current.shape[0] // 2 + 1))
+        rows = rng.choice(current.shape[0], size=b, replace=False)
+        new_values = _int_matrix(rng, (b, current.shape[1]))
+        deltas.append(MatrixDelta.upsert(rows, new_values, current, version=step + 1))
+        current = np.array(current)
+        current[np.sort(rows)] = new_values[np.argsort(rows)]
+        tables.append(current)
+    return deltas, tables
+
+
+def _expected_scores(normalized, table, weights) -> np.ndarray:
+    swapped = NormalizedMatrix(normalized.entity, normalized.indicators, [table])
+    return np.asarray(swapped.materialize()) @ weights
+
+
+class TestExactness:
+    def test_final_state_bit_for_bit_equals_rebuild(self):
+        normalized, table, export, rng = _build(seed=1)
+        scorer = FactorizedScorer(export, normalized)
+        deltas, tables = _delta_chain(rng, table, steps=10)
+        for delta in deltas:
+            scorer.apply_delta(0, delta)
+        assert scorer.version == len(deltas)
+
+        # Partial: patched chain vs compute_partial on the final table.
+        segment = scorer._table_segments[0]
+        fresh = compute_partial(tables[-1], export.weights[segment.slice()])
+        assert np.array_equal(scorer.current_snapshot().partials[0], fresh)
+
+        # End-to-end scores vs a scorer built from scratch on the final table.
+        rebuilt = FactorizedScorer(
+            export, NormalizedMatrix(normalized.entity, normalized.indicators,
+                                     [tables[-1]])
+        )
+        rows = np.arange(normalized.shape[0])
+        assert np.array_equal(scorer.score_rows(rows), rebuilt.score_rows(rows))
+        scorer.close()
+        rebuilt.close()
+
+    def test_tombstone_delta_zeroes_contribution(self):
+        normalized, table, export, rng = _build(seed=2)
+        scorer = FactorizedScorer(export, normalized)
+        dead = np.array([0, 3])
+        scorer.apply_delta(0, MatrixDelta.tombstone(dead, table))
+        assert np.array_equal(
+            scorer.current_snapshot().partials[0][dead],
+            np.zeros((2, export.n_outputs)),
+        )
+        scorer.close()
+
+    def test_background_apply_delta(self):
+        normalized, table, export, rng = _build(seed=3)
+        scorer = FactorizedScorer(export, normalized)
+        delta = MatrixDelta.upsert([1], _int_matrix(rng, (1, table.shape[1])), table)
+        future = scorer.apply_delta(0, delta, wait=False)
+        snapshot = future.result(timeout=30)
+        assert snapshot.version == 1 and scorer.version == 1
+        scorer.close()
+
+    def test_delta_composes_with_full_update_table(self):
+        """An interleaved patch and rebuild land on the same final state."""
+        normalized, table, export, rng = _build(seed=4)
+        scorer = FactorizedScorer(export, normalized)
+        deltas, tables = _delta_chain(rng, table, steps=2)
+        scorer.apply_delta(0, deltas[0])
+        scorer.update_table(0, tables[1])          # full rebuild of the same state
+        scorer.apply_delta(0, deltas[1])
+        segment = scorer._table_segments[0]
+        fresh = compute_partial(tables[2], export.weights[segment.slice()])
+        assert np.array_equal(scorer.current_snapshot().partials[0], fresh)
+        scorer.close()
+
+    def test_row_count_mismatch_is_rejected(self):
+        """A delta captured against a different row count must not patch."""
+        normalized, table, export, rng = _build(seed=5)
+        scorer = FactorizedScorer(export, normalized)
+        wrong = MatrixDelta(rows=np.array([0]), old=table[:1], new=table[:1] + 1.0,
+                            num_rows=table.shape[0] + 7)
+        with pytest.raises(ServingError, match="recapture"):
+            scorer.apply_delta(0, wrong)
+        assert scorer.version == 0  # failed patch leaves the snapshot untouched
+        scorer.close()
+
+    def test_width_mismatch_is_rejected(self):
+        from repro.exceptions import SchemaMismatchError
+
+        normalized, table, export, rng = _build(seed=6)
+        scorer = FactorizedScorer(export, normalized)
+        narrow = MatrixDelta.upsert([0], np.zeros((1, table.shape[1] - 1)),
+                                    table[:, :-1])
+        with pytest.raises(SchemaMismatchError, match="features"):
+            scorer.apply_delta(0, narrow)
+        scorer.close()
+
+
+class TestConcurrency:
+    def test_readers_see_only_published_chain_states(self):
+        """Readers racing a delta stream observe exact pre- or post-delta
+        scores from the published chain -- bit-for-bit, never a mixture."""
+        normalized, table, export, rng = _build(seed=7, n_s=96, n_r=16)
+        scorer = FactorizedScorer(export, normalized)
+        deltas, tables = _delta_chain(rng, table, steps=30)
+        candidates = {
+            _expected_scores(normalized, t, export.weights).tobytes()
+            for t in tables
+        }
+        rows = np.arange(normalized.shape[0])
+        mismatches = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                got = scorer.score_rows(rows)
+                if got.tobytes() not in candidates:
+                    mismatches.append(got)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for delta in deltas:
+            scorer.apply_delta(0, delta)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not mismatches, "a reader observed a state outside the delta chain"
+        assert scorer.version == len(deltas)
+
+        # And the terminal state is exactly the last chain state.
+        final = _expected_scores(normalized, tables[-1], export.weights)
+        assert np.array_equal(scorer.score_rows(rows), final)
+        scorer.close()
+
+    def test_concurrent_writers_compose_on_different_tables(self):
+        """Deltas on different tables submitted concurrently all land."""
+        rng = np.random.default_rng(8)
+        n_s = 48
+        entity = _int_matrix(rng, (n_s, 2))
+        tables, indicators = [], []
+        for n_r in (8, 10):
+            codes = rng.integers(0, n_r, n_s)
+            indicators.append(sparse.csr_matrix(
+                (np.ones(n_s), (np.arange(n_s), codes)), shape=(n_s, n_r)))
+            tables.append(_int_matrix(rng, (n_r, 3)))
+        normalized = NormalizedMatrix(entity, indicators, tables)
+        export = ServingExport("linear_regression",
+                               _int_matrix(rng, (normalized.logical_cols, 2)))
+        scorer = FactorizedScorer(export, normalized)
+
+        finals = []
+        chains = []
+        for index, table in enumerate(tables):
+            deltas, states = _delta_chain(rng, table, steps=8)
+            chains.append((index, deltas))
+            finals.append(states[-1])
+
+        def writer(index, deltas):
+            for delta in deltas:
+                scorer.apply_delta(index, delta)
+
+        threads = [threading.Thread(target=writer, args=chain) for chain in chains]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        assert scorer.version == 16  # no lost updates across writers
+        rebuilt = FactorizedScorer(
+            export, NormalizedMatrix(entity, indicators, finals))
+        rows = np.arange(n_s)
+        assert np.array_equal(scorer.score_rows(rows), rebuilt.score_rows(rows))
+        scorer.close()
+        rebuilt.close()
