@@ -29,6 +29,27 @@ from repro.relational.table import Table
 PathLike = Union[str, Path]
 
 
+def _check_unique_header(header: List[str], path: Path) -> None:
+    """Reject duplicate column names up front, naming the offenders.
+
+    Both CSV readers key columns by name: letting a duplicate through either
+    merges both occurrences into one column (``read_csv``, which then dies
+    later with a confusing row-count mismatch) or silently drops the earlier
+    occurrence's data (``read_csv_chunks``, last one wins).
+    """
+    if len(set(header)) == len(header):
+        return
+    seen: set = set()
+    duplicates: set = set()
+    for col in header:
+        (duplicates if col in seen else seen).add(col)
+    duplicates = sorted(duplicates)
+    raise SchemaError(
+        f"CSV file {path}: duplicate header column(s) {duplicates}; "
+        "column names must be unique"
+    )
+
+
 def _coerce_column(values: List[str]) -> np.ndarray:
     """Convert a list of strings to float64 when every entry parses, else keep strings."""
     try:
@@ -53,6 +74,7 @@ def read_csv(path: PathLike, name: Optional[str] = None,
             header = next(reader)
         except StopIteration:
             raise SchemaError(f"CSV file {path} is empty") from None
+        _check_unique_header(header, path)
         raw: Dict[str, List[str]] = {col: [] for col in header}
         for row in reader:
             if len(row) != len(header):
@@ -116,6 +138,7 @@ def read_csv_chunks(path: PathLike, chunk_rows: int, name: Optional[str] = None,
             header = next(reader)
         except StopIteration:
             raise SchemaError(f"CSV file {path} is empty") from None
+        _check_unique_header(header, path)
         rows: List[List[str]] = []
         for row in reader:
             if len(row) != len(header):

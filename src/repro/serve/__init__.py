@@ -19,6 +19,10 @@ no ``S``-sized state, and no per-request matmul over attribute columns.
   micro-batching, a hot-entity LRU keyed by snapshot version, counters.
 * :mod:`repro.serve.snapshot` -- the immutable-snapshot / atomic-swap
   protocol that keeps serving consistent while attribute tables change.
+* :mod:`repro.serve.bounds` / :mod:`repro.serve.topk` -- zone-map score
+  bounds over contiguous entity-row blocks, and the bound-pruned **exact
+  top-k** search (``scorer.top_k`` / ``service.top_k``) that skips every
+  block provably unable to reach the current k-th best score.
 
 Quickstart::
 
@@ -27,13 +31,16 @@ Quickstart::
     scorer = FactorizedScorer.from_model(model, TN)   # any of the four models
     service = ScoringService(scorer)
     service.predict_rows([0, 17, 23])                 # O(1) gathers per key
+    service.top_k(10)                                 # exact, data-skipping
     service.update_table("table_0", R0_new)           # atomic snapshot swap
 """
 
+from repro.serve.bounds import ZoneMapIndex, ZoneMaps
 from repro.serve.registry import ModelRegistry
 from repro.serve.scorer import FactorizedScorer
 from repro.serve.service import ScoringService
 from repro.serve.snapshot import ServingSnapshot, SnapshotManager, compute_partial
+from repro.serve.topk import TopKResult, full_scan_top_k, top_k_search
 
 __all__ = [
     "FactorizedScorer",
@@ -41,5 +48,10 @@ __all__ = [
     "ScoringService",
     "ServingSnapshot",
     "SnapshotManager",
+    "TopKResult",
+    "ZoneMapIndex",
+    "ZoneMaps",
     "compute_partial",
+    "full_scan_top_k",
+    "top_k_search",
 ]

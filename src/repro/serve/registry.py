@@ -29,6 +29,7 @@ import json
 import os
 import pathlib
 import re
+import shutil
 import tempfile
 import zipfile
 from typing import List, Optional, Union
@@ -73,6 +74,16 @@ class ModelRegistry:
                 f"model has {export.n_features} weights but the schema has "
                 f"{matrix.logical_cols} columns"
             )
+        # Validate metadata serializability *before* claiming a version
+        # directory: failing in json.dump after weights.npz is written would
+        # leak an incomplete vNNNN directory that burns a version number on
+        # every retry (the directory is the allocation token below).
+        try:
+            json.dumps(export.metadata, sort_keys=True)
+        except (TypeError, ValueError) as exc:
+            raise RegistryError(
+                f"cannot save {name!r}: export.metadata is not JSON-serializable ({exc})"
+            ) from exc
         versions = self.versions(name)
         version = (versions[-1] + 1) if versions else 1
         while True:
@@ -85,28 +96,35 @@ class ModelRegistry:
                 # the directory itself is the allocation token, so advance.
                 version += 1
 
-        arrays = {"weights": export.weights}
-        if export.offsets is not None:
-            arrays["offsets"] = export.offsets
-        np.savez(directory / "weights.npz", **arrays)
-        meta = {
-            "name": name,
-            "version": version,
-            "kind": export.kind,
-            "fingerprint": fingerprint,
-            "n_features": export.n_features,
-            "n_outputs": export.n_outputs,
-            "metadata": export.metadata,
-        }
-        # meta.json last, atomically: its presence marks the save as complete.
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(meta, handle, indent=2, sort_keys=True)
-            os.replace(tmp_path, directory / "meta.json")
+            arrays = {"weights": export.weights}
+            if export.offsets is not None:
+                arrays["offsets"] = export.offsets
+            np.savez(directory / "weights.npz", **arrays)
+            meta = {
+                "name": name,
+                "version": version,
+                "kind": export.kind,
+                "fingerprint": fingerprint,
+                "n_features": export.n_features,
+                "n_outputs": export.n_outputs,
+                "metadata": export.metadata,
+            }
+            # meta.json last, atomically: its presence marks the save as complete.
+            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(meta, handle, indent=2, sort_keys=True)
+                os.replace(tmp_path, directory / "meta.json")
+            except BaseException:
+                if os.path.exists(tmp_path):
+                    os.unlink(tmp_path)
+                raise
         except BaseException:
-            if os.path.exists(tmp_path):
-                os.unlink(tmp_path)
+            # Best effort: without meta.json the directory is an aborted save
+            # anyway (invisible to listings), but leaving it would burn this
+            # version number for every future save.
+            shutil.rmtree(directory, ignore_errors=True)
             raise
         return version
 

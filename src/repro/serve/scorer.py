@@ -41,7 +41,9 @@ from repro.exceptions import SchemaMismatchError, ServingError
 from repro.la.types import is_matrix_like, normalize_row_indices, to_dense
 from repro.ml.base import validate_predict_data
 from repro.ml.export import ServingExport, apply_head, export_model
+from repro.serve.bounds import DEFAULT_BLOCK_SIZE, ZoneMapIndex, ZoneMaps
 from repro.serve.snapshot import ServingSnapshot, SnapshotManager, compute_partial
+from repro.serve.topk import TopKResult, top_k_search
 
 
 class FactorizedScorer:
@@ -60,9 +62,14 @@ class FactorizedScorer:
     expected_fingerprint:
         Schema fingerprint the export was saved under (the registry passes
         it); mismatch with *matrix* raises :class:`SchemaMismatchError`.
+    zone_block_size:
+        Entity rows per zone-map block (see :mod:`repro.serve.bounds`).  The
+        block min/max score bounds are what :meth:`top_k` prunes with; the
+        default suits 1e5+-row serving sets.
     """
 
-    def __init__(self, export: ServingExport, matrix, expected_fingerprint=None):
+    def __init__(self, export: ServingExport, matrix, expected_fingerprint=None,
+                 zone_block_size: int = DEFAULT_BLOCK_SIZE):
         if not isinstance(matrix, (NormalizedMatrix, MNNormalizedMatrix)):
             raise ServingError(
                 "FactorizedScorer needs a normalized matrix describing the schema; "
@@ -103,7 +110,18 @@ class FactorizedScorer:
             compute_partial(matrix.attributes[s.table_index], weights[s.slice()])
             for s in self._table_segments
         )
-        self._snapshots = SnapshotManager(ServingSnapshot(partials))
+        # Zone maps ride on every snapshot: the index (block geometry, codes,
+        # entity-contribution bounds) is fixed for the scorer's lifetime,
+        # the per-snapshot bounds follow the partials through every swap.
+        zone_index = ZoneMapIndex.build(
+            codes=[self._codes[s.table_index] for s in self._table_segments],
+            n_rows=self._n_rows, n_outputs=self.n_outputs,
+            entity=self._entity, entity_weights=self._entity_weights,
+            block_size=zone_block_size,
+        )
+        self._snapshots = SnapshotManager(
+            ServingSnapshot(partials, zones=ZoneMaps.build(zone_index, partials))
+        )
 
     # -- metadata ----------------------------------------------------------------
 
@@ -219,6 +237,73 @@ class FactorizedScorer:
     def predict_proba(self, features=None, keys=None) -> np.ndarray:
         """Positive-class probabilities for ad-hoc requests (logistic models only)."""
         return apply_head(self.export, self.score(features, keys), "predict_proba")
+
+    # -- top-k: bound-pruned data-skipping search ----------------------------------
+
+    def top_k(self, k: int, largest: bool = True, output: int = 0,
+              snapshot=None) -> TopKResult:
+        """The k best-scoring entity rows, exactly, without scoring all of them.
+
+        Visits zone-map blocks (see :mod:`repro.serve.bounds`) in decreasing
+        bound order and skips every block whose bound cannot beat the current
+        k-th best score; surviving blocks are scored exactly through
+        :meth:`score_rows`.  The result -- rows ordered best-first, ties by
+        ascending row index -- is identical to ranking a full scan, at a
+        fraction of the scoring work whenever high scores cluster (see
+        ``benchmarks/bench_topk.py``).  The whole search is pinned to one
+        snapshot: a concurrent ``update_table``/``apply_delta`` swap can
+        never mix bounds from one state with scores from another.
+
+        Parameters
+        ----------
+        k:
+            Number of rows to return; clamped to ``n_rows`` (``k = 0`` is an
+            empty result).
+        largest:
+            Rank by largest (default) or smallest scores.
+        output:
+            Output column to rank by (models with ``m > 1`` outputs).
+        snapshot:
+            Optional pinned state from :meth:`current_snapshot`.
+        """
+        k = int(k)
+        if k < 0:
+            raise ServingError(f"top_k needs a non-negative k, got {k}")
+        output = int(output)
+        if not 0 <= output < self.n_outputs:
+            raise ServingError(
+                f"output {output} out of range for {self.n_outputs} model output(s)"
+            )
+        if snapshot is None:
+            snapshot = self._snapshots.snapshot
+
+        def score_fn(rows: np.ndarray) -> np.ndarray:
+            return self.score_rows(rows, snapshot=snapshot)[:, output]
+
+        return top_k_search(score_fn, self._n_rows, k, snapshot.zones,
+                            largest=largest, output=output)
+
+    def partial_score_bounds(self, output: int = 0, snapshot=None):
+        """Per-table global (min, max) partial-score bounds for one output.
+
+        The ad-hoc counterpart of the per-block bounds: any request keyed to
+        *any* attribute row draws each table's contribution from inside these
+        intervals, so their sum (plus the entity contribution) bounds every
+        reachable ad-hoc score.  Returns a list of ``(lo, hi)`` floats in
+        table-segment order.
+        """
+        output = int(output)
+        if not 0 <= output < self.n_outputs:
+            raise ServingError(
+                f"output {output} out of range for {self.n_outputs} model output(s)"
+            )
+        if snapshot is None:
+            snapshot = self._snapshots.snapshot
+        if snapshot.zones is None:
+            raise ServingError("this snapshot carries no zone maps")
+        zones = snapshot.zones
+        return [(float(lo[output]), float(hi[output]))
+                for lo, hi in zip(zones.partial_lo, zones.partial_hi)]
 
     def normalize_keys(self, keys) -> np.ndarray:
         """Canonical ``(n, q)`` shape of a join-key argument.

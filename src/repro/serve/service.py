@@ -62,13 +62,24 @@ class ScoringService:
         self._micro_batches = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._topk_requests = 0
+        self._topk_blocks_visited = 0
+        self._topk_blocks_skipped = 0
+        self._topk_rows_scored = 0
 
     # -- point path (LRU-cached) ---------------------------------------------------
 
     def score_row(self, row: int) -> np.ndarray:
         """Raw scores of one entity row as a ``(m,)`` vector (cached)."""
         row = int(row)
-        key = (self.scorer.version, row)
+        # One snapshot pin serves both the cache key and the scoring call.
+        # Reading the version and scoring separately would race a concurrent
+        # update_table/apply_delta swap between the two: a post-swap score
+        # cached under the pre-swap version key hands version v+1 data to
+        # readers still on version v, breaking the one-consistent-snapshot
+        # guarantee.
+        snapshot = self.scorer.current_snapshot()
+        key = (snapshot.version, row)
         with self._lock:
             self._requests += 1
             cached = self._cache.get(key)
@@ -77,7 +88,7 @@ class ScoringService:
                 self._cache_hits += 1
                 return cached
             self._cache_misses += 1
-        scores = self.scorer.score_rows([row])[0]
+        scores = self.scorer.score_rows([row], snapshot=snapshot)[0]
         scores.setflags(write=False)
         if self.cache_size:
             with self._lock:
@@ -196,6 +207,26 @@ class ScoringService:
                 self._micro_batches += 1
         return np.concatenate(chunks, axis=0)
 
+    # -- top-k (bound-pruned) --------------------------------------------------------
+
+    def top_k(self, k: int, largest: bool = True, output: int = 0):
+        """The k best entity rows via the scorer's bound-pruned search.
+
+        Snapshot-pinned like every other entry point (the scorer reads one
+        snapshot for bounds and exact scoring alike) and stats-counted: the
+        service accumulates blocks visited vs skipped and rows scored, so an
+        operator can see how much of the data the top-k traffic actually
+        touches (see :meth:`stats`).
+        """
+        result = self.scorer.top_k(k, largest=largest, output=output)
+        with self._lock:
+            self._requests += 1
+            self._topk_requests += 1
+            self._topk_blocks_visited += result.stats.get("blocks_visited", 0)
+            self._topk_blocks_skipped += result.stats.get("blocks_skipped", 0)
+            self._topk_rows_scored += result.stats.get("rows_scored", 0)
+        return result
+
     # -- freshness + introspection ---------------------------------------------------
 
     def update_table(self, table, new_attribute, wait: bool = True):
@@ -224,6 +255,10 @@ class ScoringService:
                 "cache_misses": self._cache_misses,
                 "cache_entries": len(self._cache),
                 "snapshot_version": self.scorer.version,
+                "topk_requests": self._topk_requests,
+                "topk_blocks_visited": self._topk_blocks_visited,
+                "topk_blocks_skipped": self._topk_blocks_skipped,
+                "topk_rows_scored": self._topk_rows_scored,
             }
 
     def clear_cache(self) -> None:

@@ -79,25 +79,41 @@ class ServingSnapshot:
     increasing version number.  Instances are never mutated; updates go
     through :meth:`with_partial`, which shares every untouched partial with
     its predecessor.
+
+    When the snapshot carries zone maps (``zones``, see
+    :mod:`repro.serve.bounds` -- the scorer builds them for its initial
+    snapshot), every successor keeps them consistent with its partials:
+    ``with_partial`` rebuilds the swapped table's block bounds from scratch,
+    ``with_patched_partial`` recomputes only the blocks whose entity rows
+    reference a row the delta touched.  Both run inside the writer lock of
+    :meth:`SnapshotManager.swap`, so readers always observe partials and
+    bounds from the *same* state.
     """
 
-    __slots__ = ("partials", "version")
+    __slots__ = ("partials", "version", "zones")
 
-    def __init__(self, partials: Tuple[np.ndarray, ...], version: int = 0):
+    def __init__(self, partials: Tuple[np.ndarray, ...], version: int = 0, zones=None):
         self.partials = tuple(partials)
         self.version = int(version)
+        self.zones = zones
 
     def with_partial(self, table_index: int, partial: np.ndarray) -> "ServingSnapshot":
         """A successor snapshot replacing one table's partial (version + 1)."""
         partials = list(self.partials)
         partials[table_index] = partial
-        return ServingSnapshot(tuple(partials), self.version + 1)
+        zones = (self.zones.rebuild_table(table_index, partial)
+                 if self.zones is not None else None)
+        return ServingSnapshot(tuple(partials), self.version + 1, zones)
 
     def with_patched_partial(self, table_index: int, delta,
                              weight_slice: np.ndarray) -> "ServingSnapshot":
         """A successor with one partial delta-patched (see :func:`patch_partial`)."""
         patched = patch_partial(self.partials[table_index], delta, weight_slice)
-        return self.with_partial(table_index, patched)
+        partials = list(self.partials)
+        partials[table_index] = patched
+        zones = (self.zones.patch_table(table_index, patched, delta.rows)
+                 if self.zones is not None else None)
+        return ServingSnapshot(tuple(partials), self.version + 1, zones)
 
     @property
     def partial_bytes(self) -> int:

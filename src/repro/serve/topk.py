@@ -1,0 +1,171 @@
+"""Bound-pruned exact top-k search over the factorized serving state.
+
+The NeedleTail observation for LIMIT-style queries carries over to scoring:
+when the caller wants "the k best entities" out of ``N``, scanning all ``N``
+scores is wasted work whenever high scores cluster -- and with zone-map
+bounds (:mod:`repro.serve.bounds`) the clustering can be *proven* per block,
+so skipped work never costs correctness.  The search is exact by
+construction:
+
+1. **Seed** a k-candidate pool from a dense strided sample of rows, scored
+   exactly.  The sample establishes a high k-th-best threshold before any
+   block is opened, so even the best-looking blocks can be skipped when the
+   score distribution is flat near the top.
+2. **Visit blocks in decreasing upper-bound order.**  A block whose upper
+   bound is *strictly below* the current k-th best score cannot contribute a
+   result row -- and because blocks are visited in bound order, neither can
+   any later block: the search stops there and skips them all.  Blocks whose
+   bound ties the threshold are still visited (a row inside could displace
+   the current k-th on the row-index tie-break).
+3. **Exact scoring inside surviving blocks** through the ordinary snapshot
+   -pinned scoring path; candidates merge into the pool with deterministic
+   ordering (score, then ascending row index).
+
+The result is identical -- same rows, same order -- to the full-scan
+reference (:func:`full_scan_top_k` over all ``N`` scores): every unvisited
+row provably scores strictly below the returned k-th score, so it cannot
+enter the result under any tie-break.  ``smallest`` queries run the same
+machinery on negated scores with the lower bounds negated into upper bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.serve.bounds import ZoneMaps
+
+#: Floor on the seed-sample size (rows), so tiny k still seeds a useful
+#: threshold; the sample is also never larger than the dataset.
+_MIN_SEED_SAMPLE = 64
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """An exact top-k answer plus the pruning statistics that produced it.
+
+    ``rows``/``scores`` are ordered best-first with ties broken by ascending
+    row index -- exactly the order ``full_scan_top_k`` produces.  ``stats``
+    records the work: blocks visited vs skipped (``pruned`` is False when the
+    search fell back to a full scan -- no zone maps, or ``k`` covering most
+    of the data) and the number of rows scored exactly.
+    """
+
+    rows: np.ndarray
+    scores: np.ndarray
+    k: int
+    largest: bool
+    output: int
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.rows.shape[0])
+
+
+def full_scan_top_k(scores: np.ndarray, k: int, largest: bool = True):
+    """Reference selection over a dense score vector: (rows, scores).
+
+    Deterministic tie-break: equal scores order by ascending row index.  This
+    is both the fallback path of :func:`top_k_search` and the oracle its
+    exactness is tested against.
+    """
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    k = max(0, min(int(k), scores.shape[0]))
+    keyed = -scores if largest else scores
+    order = np.lexsort((np.arange(scores.shape[0]), keyed))[:k]
+    return order.astype(np.int64), scores[order]
+
+
+def _merge_pool(pool_rows: np.ndarray, pool_keyed: np.ndarray,
+                rows: np.ndarray, keyed: np.ndarray, k: int):
+    """Merge candidates into the pool, keeping the best k (dedup by row)."""
+    all_rows = np.concatenate([pool_rows, rows])
+    all_keyed = np.concatenate([pool_keyed, keyed])
+    # Seed rows reappear inside visited blocks; their scores are identical,
+    # so keeping the first occurrence per row is enough.
+    unique_rows, first = np.unique(all_rows, return_index=True)
+    unique_keyed = all_keyed[first]
+    order = np.lexsort((unique_rows, unique_keyed))[:k]
+    return unique_rows[order], unique_keyed[order]
+
+
+def top_k_search(score_fn: Callable[[np.ndarray], np.ndarray], n_rows: int,
+                 k: int, zones: Optional[ZoneMaps], largest: bool = True,
+                 output: int = 0) -> TopKResult:
+    """Exact top-k rows under *score_fn* using zone-map pruning.
+
+    Parameters
+    ----------
+    score_fn:
+        Maps an int64 row-index array to the exact scores of those rows for
+        the ranked output (1-D).  Must be pinned to one snapshot by the
+        caller -- the bounds in *zones* describe exactly that state.
+    n_rows:
+        Total number of scoreable entity rows.
+    k:
+        Number of results; clamped to ``n_rows`` (``k = 0`` is an empty
+        result, not an error).
+    zones:
+        The snapshot's :class:`~repro.serve.bounds.ZoneMaps`, or ``None`` to
+        force the full-scan fallback.
+    largest / output:
+        Rank by the largest or smallest scores of output column *output*
+        (the caller resolves *output* into *score_fn*; it is echoed in the
+        result for bookkeeping).
+    """
+    k = min(int(k), n_rows)
+    if k <= 0:
+        empty = np.empty(0, dtype=np.int64)
+        n_blocks = zones.n_blocks if zones is not None else 0
+        return TopKResult(empty, np.empty(0, dtype=np.float64), 0, largest, output,
+                          {"blocks_total": n_blocks, "blocks_visited": 0,
+                           "blocks_skipped": n_blocks, "rows_scored": 0,
+                           "pruned": False})
+
+    n_blocks = zones.n_blocks if zones is not None else 0
+    # Pruning cannot pay off when (almost) every row must be returned anyway,
+    # or when there is at most one block to skip.
+    if zones is None or n_blocks <= 1 or 2 * k >= n_rows:
+        all_rows = np.arange(n_rows, dtype=np.int64)
+        rows, scores = full_scan_top_k(score_fn(all_rows), k, largest)
+        return TopKResult(rows, scores, k, largest, output,
+                          {"blocks_total": n_blocks, "blocks_visited": n_blocks,
+                           "blocks_skipped": 0, "rows_scored": n_rows,
+                           "pruned": False})
+
+    sign = -1.0 if largest else 1.0  # keyed = sign * score; smaller keyed = better
+    bounds = zones.upper[:, output] if largest else zones.lower[:, output]
+    block_keyed_bounds = sign * bounds  # best keyed score any row could reach
+
+    # Seed: a strided dense sample across the whole row range.
+    sample_size = min(n_rows, max(2 * k, _MIN_SEED_SAMPLE))
+    stride = max(1, n_rows // sample_size)
+    seed_rows = np.arange(0, n_rows, stride, dtype=np.int64)
+    pool_rows = np.empty(0, dtype=np.int64)
+    pool_keyed = np.empty(0, dtype=np.float64)
+    pool_rows, pool_keyed = _merge_pool(pool_rows, pool_keyed,
+                                        seed_rows, sign * score_fn(seed_rows), k)
+    rows_scored = int(seed_rows.shape[0])
+
+    # Visit blocks best-bound first (ties by ascending block id, stable).
+    order = np.argsort(block_keyed_bounds, kind="stable")
+    visited = 0
+    for b in order:
+        if pool_rows.shape[0] >= k and block_keyed_bounds[b] > pool_keyed[k - 1]:
+            # Strictly worse than the current k-th best: no row in this block
+            # (or any later one -- bounds only get worse) can enter the
+            # result, even on tie-break.  Equal bounds must still be visited.
+            break
+        row_lo, row_hi = zones.index.block_bounds(int(b))
+        block_rows = np.arange(row_lo, row_hi, dtype=np.int64)
+        pool_rows, pool_keyed = _merge_pool(pool_rows, pool_keyed, block_rows,
+                                            sign * score_fn(block_rows), k)
+        rows_scored += int(block_rows.shape[0])
+        visited += 1
+
+    return TopKResult(pool_rows, sign * pool_keyed, k, largest, output,
+                      {"blocks_total": n_blocks, "blocks_visited": visited,
+                       "blocks_skipped": n_blocks - visited,
+                       "rows_scored": rows_scored, "pruned": True})

@@ -13,6 +13,7 @@ from repro.la.types import (
     is_matrix_like,
     is_sparse,
     is_vector,
+    normalize_row_indices,
     shape_of,
     to_dense,
     to_sparse,
@@ -110,3 +111,85 @@ class TestShapeHelpers:
     def test_check_matmul_shapes_raises(self):
         with pytest.raises(ShapeError):
             check_matmul_shapes((2, 3), (4, 4))
+
+
+class TestNormalizeRowIndices:
+    """Row-selection validation shared by every ``take_rows`` implementation.
+
+    Regression: float indices used to be truncated via ``astype(int64)``, so
+    ``1.7`` silently selected row 1 instead of raising.
+    """
+
+    def test_integer_indices_pass_through(self):
+        out = normalize_row_indices(np.array([3, 0, 3], dtype=np.int32), 5)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [3, 0, 3])
+
+    def test_boolean_mask_converted(self):
+        mask = np.array([True, False, True, False])
+        np.testing.assert_array_equal(normalize_row_indices(mask, 4), [0, 2])
+
+    def test_wrong_length_mask_rejected(self):
+        with pytest.raises(ShapeError, match="mask length"):
+            normalize_row_indices(np.array([True, False]), 3)
+
+    def test_integral_floats_accepted(self):
+        """Integer-valued float arrays (arange(5.0), float-stored keys) work."""
+        out = normalize_row_indices(np.array([2.0, 0.0, 4.0]), 5)
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [2, 0, 4])
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(ShapeError, match="non-integral float"):
+            normalize_row_indices(np.array([0.0, 1.7]), 5)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ShapeError, match="NaN or infinity"):
+            normalize_row_indices(np.array([0.0, np.nan]), 5)
+
+    def test_infinity_rejected(self):
+        with pytest.raises(ShapeError, match="NaN or infinity"):
+            normalize_row_indices(np.array([np.inf]), 5)
+
+    def test_non_numeric_dtype_rejected(self):
+        with pytest.raises(ShapeError, match="dtype"):
+            normalize_row_indices(np.array(["0", "1"]), 5)
+        with pytest.raises(ShapeError, match="dtype"):
+            normalize_row_indices(np.array([1 + 0j]), 5)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ShapeError, match="out of range"):
+            normalize_row_indices(np.array([0, 5]), 5)
+        with pytest.raises(ShapeError, match="out of range"):
+            normalize_row_indices(np.array([-1]), 5)
+
+    def test_empty_float_selection(self):
+        assert normalize_row_indices(np.array([], dtype=np.float64), 5).size == 0
+
+    def test_star_take_rows_index_matrix(self, single_join_dense):
+        """Integral floats select identically to ints; fractional ones raise."""
+        _, normalized, materialized = single_join_dense
+        dense = np.asarray(materialized)
+        indices = np.array([7, 0, 3])
+        expected = dense[indices, :]
+        np.testing.assert_allclose(
+            normalized.take_rows(indices).to_dense(), expected)
+        np.testing.assert_allclose(
+            normalized.take_rows(indices.astype(np.float64)).to_dense(), expected)
+        with pytest.raises(ShapeError, match="non-integral float"):
+            normalized.take_rows(np.array([0.5, 1.0]))
+
+    def test_mn_take_rows_index_matrix(self, mn_dataset):
+        """The M:N path rejects and accepts exactly like the star path."""
+        _, normalized, materialized = mn_dataset
+        dense = np.asarray(materialized)
+        indices = np.array([2, 2, 0])
+        expected = dense[indices, :]
+        np.testing.assert_allclose(
+            normalized.take_rows(indices).to_dense(), expected)
+        np.testing.assert_allclose(
+            normalized.take_rows(indices.astype(np.float64)).to_dense(), expected)
+        with pytest.raises(ShapeError, match="non-integral float"):
+            normalized.take_rows(np.array([1.5]))
+        with pytest.raises(ShapeError, match="NaN or infinity"):
+            normalized.take_rows(np.array([np.nan]))

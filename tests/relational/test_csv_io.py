@@ -271,3 +271,40 @@ class TestStreamNormalizedBatches:
         with pytest.raises(SchemaError, match="no match"):
             list(stream_normalized_batches(path, [("fk", attribute, "pk", ["price"])],
                                            chunk_rows=2))
+
+
+class TestDuplicateHeaders:
+    """Regression: duplicate header names used to corrupt ingestion silently.
+
+    ``read_csv`` keyed its column dict by name, merging both occurrences into
+    one short column; ``read_csv_chunks`` let the last occurrence win.  Both
+    paths must instead reject the file up front, naming the duplicates.
+    """
+
+    @pytest.fixture
+    def duplicated(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text(
+            "id,age,id,age\n"
+            "0,25,9,52\n"
+            "1,40,8,4\n"
+        )
+        return path
+
+    def test_read_csv_rejects_duplicate_header(self, duplicated):
+        with pytest.raises(SchemaError, match=r"duplicate header.*'age', 'id'"):
+            read_csv(duplicated)
+
+    def test_read_csv_chunks_rejects_duplicate_header(self, duplicated):
+        with pytest.raises(SchemaError, match=r"duplicate header.*'age', 'id'"):
+            next(read_csv_chunks(duplicated, chunk_rows=1))
+
+    def test_single_duplicate_named(self, tmp_path):
+        path = tmp_path / "one_dup.csv"
+        path.write_text("a,b,a\n1,2,3\n")
+        with pytest.raises(SchemaError, match=r"\['a'\]"):
+            read_csv(path)
+
+    def test_unique_headers_unaffected(self, csv_file):
+        assert read_csv(csv_file).num_rows == 3
+        assert sum(c.num_rows for c in read_csv_chunks(csv_file, chunk_rows=2)) == 3

@@ -213,3 +213,59 @@ class TestFailureModes:
         _, normalized, _ = single_join_dense
         with pytest.raises(ServingError):
             registry.save("m", object(), normalized)
+
+
+class TestSaveFailureCleanup:
+    """Regression: a save that fails mid-write used to leak its version dir.
+
+    Non-serializable metadata wrote ``weights.npz`` and then died in
+    ``json.dump``, leaving an incomplete ``vNNNN`` directory that burned a
+    version number on every later save (the directory is the allocation
+    token).  Metadata is now validated before the directory is claimed, and
+    any write failure removes the claimed directory.
+    """
+
+    def test_non_serializable_metadata_rejected_without_leak(
+            self, registry, single_join_dense):
+        _, normalized, _ = single_join_dense
+        bad = ServingExport("linear_regression",
+                            np.zeros((normalized.logical_cols, 1)),
+                            metadata={"bad": {1, 2}})  # sets are not JSON
+        with pytest.raises(RegistryError, match="not JSON-serializable"):
+            registry.save("m", bad, normalized)
+        # No version directory was claimed at all -- not even an aborted one.
+        assert not (registry.root / "m").exists()
+
+    def test_next_save_gets_the_expected_version(self, registry, single_join_dense,
+                                                 rng):
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        model = LinearRegressionGD(max_iter=2).fit(normalized, y)
+        assert registry.save("m", model, normalized) == 1
+        bad = ServingExport("linear_regression",
+                            np.zeros((normalized.logical_cols, 1)),
+                            metadata={"when": object()})
+        for _ in range(3):  # repeated failures must not burn version numbers
+            with pytest.raises(RegistryError, match="not JSON-serializable"):
+                registry.save("m", bad, normalized)
+        assert sorted(p.name for p in (registry.root / "m").iterdir()) == ["v0001"]
+        assert registry.save("m", model, normalized) == 2
+
+    def test_write_failure_cleans_up_claimed_directory(
+            self, registry, single_join_dense, rng, monkeypatch):
+        """Even a failure *after* claiming the directory must not leak it."""
+        _, normalized, _ = single_join_dense
+        y = rng.standard_normal(normalized.shape[0])
+        model = LinearRegressionGD(max_iter=2).fit(normalized, y)
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.serve.registry.np.savez", boom)
+        with pytest.raises(OSError, match="disk full"):
+            registry.save("m", model, normalized)
+        monkeypatch.undo()
+        assert registry.versions("m") == []
+        assert not (registry.root / "m" / "v0001").exists()
+        # The failed attempt released its number: the next save reuses v1.
+        assert registry.save("m", model, normalized) == 1

@@ -199,6 +199,55 @@ class TestHotEntityCache:
         assert service.stats()["cache_hits"] == 0
         assert service.stats()["cache_entries"] == 0
 
+    def test_score_row_swap_race_caches_consistent_version(self, single_join_dense,
+                                                           rng):
+        """Regression: a swap racing ``score_row`` must not poison the cache.
+
+        The old code read ``scorer.version`` for the cache key, then scored
+        against whatever snapshot was current at scoring time.  A swap landing
+        between the two cached *post*-swap scores under the *pre*-swap version
+        key.  Deterministic replay: the first scoring call itself triggers a
+        synchronous ``update_table``, so without a single snapshot pin the
+        returned (and cached) value would belong to version 1 while the key
+        says version 0.
+        """
+        _, normalized, _ = single_join_dense
+        scorer, export = _scorer_for(normalized, seed=13)
+        service = ScoringService(scorer, cache_size=64)
+        old_table = np.asarray(normalized.attributes[0])
+        new_table = rng.standard_normal(old_table.shape)
+        pre_swap = (np.asarray(NormalizedMatrix(
+            normalized.entity, normalized.indicators, [old_table]
+        ).materialize()) @ export.weights)[3]
+        post_swap = (np.asarray(NormalizedMatrix(
+            normalized.entity, normalized.indicators, [new_table]
+        ).materialize()) @ export.weights)[3]
+
+        original = scorer.score_rows
+        fired = []
+
+        def score_rows_with_midflight_swap(chunk, snapshot=None):
+            if not fired:
+                fired.append(True)
+                scorer.update_table(0, new_table, wait=True)
+            return original(chunk, snapshot=snapshot)
+
+        scorer.score_rows = score_rows_with_midflight_swap
+        try:
+            raced = service.score_row(3)
+        finally:
+            scorer.score_rows = original
+        assert scorer.version == 1  # the swap really landed mid-call
+        # The raced call pinned the version-0 snapshot before the swap, so it
+        # returns (and caches) version-0 scores under a version-0 key ...
+        np.testing.assert_allclose(raced, pre_swap, rtol=1e-12, atol=1e-12)
+        # ... and the next call, keyed by version 1, misses the cache and
+        # scores against the new table instead of replaying the stale entry.
+        np.testing.assert_allclose(service.score_row(3), post_swap,
+                                   rtol=1e-12, atol=1e-12)
+        assert service.stats()["cache_hits"] == 0
+        assert service.stats()["cache_misses"] == 2
+
 
 class TestConcurrentConsistency:
     def test_multi_chunk_batch_pins_one_snapshot(self, single_join_dense, rng):
