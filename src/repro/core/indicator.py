@@ -24,6 +24,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import IndicatorError
+from repro.la.chain import ChainedIndicator
 from repro.la.types import MatrixLike, to_sparse
 
 
@@ -51,13 +52,41 @@ def _as_binary_csr(matrix: MatrixLike, context: str) -> sp.csr_matrix:
     return csr
 
 
-def validate_pk_fk_indicator(matrix: MatrixLike, require_full_columns: bool = True) -> sp.csr_matrix:
+def validate_pk_fk_indicator(matrix: MatrixLike, require_full_columns: bool = True):
     """Validate a PK-FK indicator matrix ``K`` and return it as CSR.
 
     Checks that every row has exactly one entry equal to one, and (optionally)
     that every column is referenced at least once, which the paper assumes
     after dropping unreferenced attribute tuples.
+
+    A multi-hop :class:`~repro.la.chain.ChainedIndicator` is validated hop by
+    hop -- each hop must itself be a valid PK-FK indicator, which makes the
+    product one too -- plus the column-coverage check on the (virtual)
+    product, and is returned unchanged (still factorized).
     """
+    if isinstance(matrix, ChainedIndicator):
+        if matrix.transposed:
+            raise IndicatorError(
+                "PK-FK indicator: a transposed chain is not a row indicator"
+            )
+        for i, hop in enumerate(matrix.hops):
+            try:
+                validate_pk_fk_indicator(hop, require_full_columns=False)
+            except IndicatorError as exc:
+                raise IndicatorError(f"chain hop {i}: {exc}") from None
+        if require_full_columns and matrix.shape[1]:
+            # Column coverage of the product via composed codes -- O(rows),
+            # no need to materialize the collapsed chain.
+            col_counts = np.bincount(indicator_codes(matrix),
+                                     minlength=matrix.shape[1])
+            if np.any(col_counts == 0):
+                bad = int(np.argmax(col_counts == 0))
+                raise IndicatorError(
+                    f"PK-FK indicator chain: column {bad} is never reached through "
+                    "the hops; drop unreferenced attribute rows before building "
+                    "the normalized matrix"
+                )
+        return matrix
     csr = _as_binary_csr(matrix, "PK-FK indicator")
     row_counts = np.diff(csr.indptr)
     if csr.shape[0] and not np.all(row_counts == 1):
@@ -109,8 +138,14 @@ def indicator_codes(matrix: MatrixLike) -> np.ndarray:
     code of row ``i`` is the column holding that non-zero -- i.e. the
     attribute-table row the join routes row ``i`` to.  This is the inverse of
     :func:`repro.la.ops.indicator_from_labels` and what the serving subsystem
-    gathers precomputed partial scores with.
+    gathers precomputed partial scores with.  Chained indicators compose hop
+    codes (``c = c2[c1]``) without materializing the product.
     """
+    if isinstance(matrix, ChainedIndicator) and not matrix.transposed:
+        codes = indicator_codes(matrix.hops[0])
+        for hop in matrix.hops[1:]:
+            codes = indicator_codes(hop)[codes]
+        return codes
     csr = to_sparse(matrix, "csr")
     row_counts = np.diff(csr.indptr)
     if csr.shape[0] and not np.all(row_counts == 1):

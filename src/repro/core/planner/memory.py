@@ -50,6 +50,10 @@ def matrix_nbytes(matrix) -> int:
         return total
     if isinstance(matrix, np.ndarray):
         return int(matrix.nbytes)
+    hops = getattr(matrix, "hops", None)
+    if hops is not None:
+        # A ChainedIndicator keeps its hop matrices resident, not the product.
+        return sum(matrix_nbytes(h) for h in hops)
     shape = getattr(matrix, "shape", None)
     if shape is None:
         return 0

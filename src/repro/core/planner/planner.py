@@ -45,6 +45,7 @@ from repro.core.mn_matrix import MNNormalizedMatrix
 from repro.core.normalized_matrix import NormalizedMatrix
 from repro.core.planner import memory as memory_model
 from repro.core.planner.calibration import CalibrationProfile, get_profile
+from repro.core.planner.chains import plan_chain_summaries
 from repro.core.planner.plan import Plan, ScoredCandidate
 from repro.core.planner.workload import WorkloadDescriptor
 from repro.la.types import is_sparse
@@ -270,10 +271,14 @@ class Planner:
         profile = self.calibration or get_profile()
         data_profile = describe_data(data)
         candidates = self._score_all(data_profile, workload, profile, n_shards)
+        summary = self._summary(data_profile)
+        chains = plan_chain_summaries(data, workload)
+        if chains:
+            summary["chains"] = chains
         return Plan(
             candidates=tuple(candidates),
             workload=workload,
-            data_summary=self._summary(data_profile),
+            data_summary=summary,
             calibration=profile,
             threshold_rule_choice=self._threshold_choice(data_profile),
         )

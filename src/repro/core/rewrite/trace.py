@@ -150,6 +150,35 @@ def canonical_star_schema():
     return normalized, named
 
 
+def canonical_snowflake_schema():
+    """A deterministic two-hop snowflake schema (8 entity rows).
+
+    Returns ``(normalized, named_operands)``: ``S`` 8x2; a single-hop join
+    ``(K1, R1)`` with 4 attribute rows of width 3; and a two-hop chain
+    ``C1 = H1 H2`` (8 -> 4 -> 2) kept factorized, routing to ``R2`` (2 rows,
+    width 2).  The chain itself is registered as ``C1`` so the goldens pin
+    exactly where the rewrites touch the chain as one indicator -- the
+    per-hop folds live inside :class:`~repro.la.chain.ChainedIndicator`,
+    below the rewrite algebra.
+    """
+    from repro.core.normalized_matrix import NormalizedMatrix
+    from repro.la.chain import ChainedIndicator
+    from repro.la.ops import indicator_from_labels
+
+    rng = np.random.default_rng(42)
+    entity = rng.standard_normal((8, 2))
+    r1 = rng.standard_normal((4, 3))
+    r2 = rng.standard_normal((2, 2))
+    k1 = indicator_from_labels(np.array([0, 1, 2, 3, 0, 1, 2, 3]), num_columns=4)
+    h1 = indicator_from_labels(np.array([0, 1, 2, 3, 3, 2, 1, 0]), num_columns=4)
+    h2 = indicator_from_labels(np.array([0, 1, 0, 1]), num_columns=2)
+    chain = ChainedIndicator([h1, h2])
+    normalized = NormalizedMatrix(entity, [k1, chain], [r1, r2])
+    named = {"S": entity, "K1": k1, "H1": h1, "H2": h2, "C1": chain,
+             "R1": r1, "R2": r2}
+    return normalized, named
+
+
 def canonical_mn_schema():
     """A deterministic two-component M:N schema (10 output rows)."""
     from repro.core.mn_matrix import MNNormalizedMatrix
@@ -200,6 +229,27 @@ def table1_traces() -> Dict[str, dict]:
         with trace_rewrites(star_args) as tracer:
             op(star)
         traces[name] = {"schema": "canonical-star", "operator": name,
+                        "steps": tracer.steps}
+
+    snow, snow_named = canonical_snowflake_schema()
+    x_sf = rng.standard_normal((snow.shape[1], 2))
+    w_sf = rng.standard_normal((2, snow.shape[0]))
+    y_sf = rng.standard_normal((snow.shape[0], 2))
+    snow_ops = {
+        "snowflake_lmm": lambda tn: tn @ x_sf,
+        "snowflake_rmm": lambda tn: w_sf @ tn,
+        "snowflake_transposed_lmm": lambda tn: tn.T @ y_sf,
+        "snowflake_crossprod_naive": lambda tn: tn.crossprod(method="naive"),
+        "snowflake_crossprod_efficient": lambda tn: tn.crossprod(method="efficient"),
+        "snowflake_rowsums": lambda tn: tn.rowsums(),
+        "snowflake_colsums": lambda tn: tn.colsums(),
+        "snowflake_total_sum": lambda tn: tn.total_sum(),
+    }
+    snow_args = dict(snow_named, X=x_sf, W=w_sf, Y=y_sf)
+    for name, op in snow_ops.items():
+        with trace_rewrites(snow_args) as tracer:
+            op(snow)
+        traces[name] = {"schema": "canonical-snowflake", "operator": name,
                         "steps": tracer.steps}
 
     mn, mn_named = canonical_mn_schema()

@@ -20,7 +20,7 @@ import scipy.sparse as sp
 from numpy.linalg import pinv as _dense_pinv
 
 from repro.exceptions import ShapeError
-from repro.la.types import MatrixLike, ensure_2d, is_sparse, to_dense
+from repro.la.types import MatrixLike, ensure_2d, is_chain, is_sparse, to_dense
 
 Scalar = Union[int, float, np.floating, np.integer]
 
@@ -36,7 +36,7 @@ def rowsums(x: MatrixLike) -> np.ndarray:
     K-Means (squared-norm pre-computation).
     """
     x = ensure_2d(x)
-    if is_sparse(x):
+    if is_sparse(x) or is_chain(x):
         return np.asarray(x.sum(axis=1)).reshape(-1, 1)
     return np.asarray(x).sum(axis=1, keepdims=True)
 
@@ -44,7 +44,7 @@ def rowsums(x: MatrixLike) -> np.ndarray:
 def colsums(x: MatrixLike) -> np.ndarray:
     """Column-wise sum of *x* as a ``(1, d)`` dense row vector (R's ``colSums``)."""
     x = ensure_2d(x)
-    if is_sparse(x):
+    if is_sparse(x) or is_chain(x):
         return np.asarray(x.sum(axis=0)).reshape(1, -1)
     return np.asarray(x).sum(axis=0, keepdims=True)
 
@@ -69,7 +69,7 @@ def row_min(x: MatrixLike) -> np.ndarray:
 
 def nnz(x: MatrixLike) -> int:
     """Number of structurally non-zero elements of *x*."""
-    if is_sparse(x):
+    if is_sparse(x) or is_chain(x):
         return int(x.nnz)
     return int(np.count_nonzero(np.asarray(x)))
 
@@ -87,6 +87,12 @@ def matmul(a: MatrixLike, b: MatrixLike) -> MatrixLike:
     a2, b2 = ensure_2d(a), ensure_2d(b)
     if a2.shape[1] != b2.shape[0]:
         raise ShapeError(f"matmul: inner dimensions do not agree {a2.shape} @ {b2.shape}")
+    if is_chain(a2):
+        # Chained indicators fold their hops one sparse product at a time
+        # (small end first), never materializing the chain product.
+        return a2 @ b2
+    if is_chain(b2):
+        return b2.__rmatmul__(a2)
     if is_sparse(a2) and is_sparse(b2):
         return a2 @ b2
     if is_sparse(a2):

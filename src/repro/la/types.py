@@ -18,6 +18,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import ShapeError
+from repro.la.chain import ChainedIndicator
 
 #: Anything accepted as a plain (non-normalized) matrix operand.
 MatrixLike = Union[np.ndarray, sp.spmatrix]
@@ -26,6 +27,11 @@ MatrixLike = Union[np.ndarray, sp.spmatrix]
 def is_sparse(x: object) -> bool:
     """Return ``True`` if *x* is a SciPy sparse matrix (any format)."""
     return sp.issparse(x)
+
+
+def is_chain(x: object) -> bool:
+    """Return ``True`` if *x* is a multi-hop :class:`ChainedIndicator`."""
+    return isinstance(x, ChainedIndicator)
 
 
 def is_dense(x: object) -> bool:
@@ -53,7 +59,7 @@ def ensure_2d(x: MatrixLike) -> MatrixLike:
     Sparse matrices are always 2-D already.  Raises :class:`ShapeError` for
     inputs with more than two dimensions.
     """
-    if is_sparse(x):
+    if is_sparse(x) or is_chain(x):
         return x
     arr = np.asarray(x)
     if arr.ndim == 1:
@@ -65,6 +71,8 @@ def ensure_2d(x: MatrixLike) -> MatrixLike:
 
 def to_dense(x: MatrixLike) -> np.ndarray:
     """Return a dense ``ndarray`` view/copy of *x*."""
+    if is_chain(x):
+        x = x.tocsr()
     if is_sparse(x):
         return np.asarray(x.todense())
     return np.asarray(x)
@@ -72,6 +80,8 @@ def to_dense(x: MatrixLike) -> np.ndarray:
 
 def to_sparse(x: MatrixLike, fmt: str = "csr") -> sp.spmatrix:
     """Return *x* as a SciPy sparse matrix in the requested format."""
+    if is_chain(x):
+        x = x.tocsr()
     if is_sparse(x):
         return x.asformat(fmt)
     return sp.csr_matrix(np.atleast_2d(np.asarray(x))).asformat(fmt)
@@ -79,7 +89,7 @@ def to_sparse(x: MatrixLike, fmt: str = "csr") -> sp.spmatrix:
 
 def shape_of(x: MatrixLike) -> tuple:
     """Return the 2-D shape of *x*, promoting 1-D vectors to column shape."""
-    if is_sparse(x):
+    if is_sparse(x) or is_chain(x):
         return x.shape
     arr = np.asarray(x)
     if arr.ndim == 1:

@@ -20,10 +20,21 @@ data to the matrices the Morpheus core consumes:
   mirrors the paper's R snippet (``read.csv`` followed by ``sparseMatrix``).
 """
 
-from repro.relational.schema import Column, ColumnType, ForeignKey, TableSchema, StarSchema
+from repro.relational.schema import (
+    Column,
+    ColumnType,
+    ForeignKey,
+    Join,
+    Mapping,
+    SchemaGraph,
+    StarSchema,
+    TableSchema,
+    to_mapping,
+)
 from repro.relational.table import Table
 from repro.relational.join import (
     JoinResult,
+    chained_indicator,
     pk_fk_indicator,
     join_pk_fk,
     join_star,
@@ -40,6 +51,7 @@ from repro.relational.csv_io import (
 )
 from repro.relational.pipeline import (
     NormalizedDataset,
+    normalized_from_schema,
     normalized_from_tables,
     mn_normalized_from_tables,
 )
@@ -48,10 +60,15 @@ __all__ = [
     "Column",
     "ColumnType",
     "ForeignKey",
+    "Join",
+    "Mapping",
+    "SchemaGraph",
     "TableSchema",
     "StarSchema",
     "Table",
+    "to_mapping",
     "JoinResult",
+    "chained_indicator",
     "pk_fk_indicator",
     "join_pk_fk",
     "join_star",
@@ -66,6 +83,7 @@ __all__ = [
     "stream_normalized_batches",
     "write_csv",
     "NormalizedDataset",
+    "normalized_from_schema",
     "normalized_from_tables",
     "mn_normalized_from_tables",
 ]

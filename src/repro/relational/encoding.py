@@ -38,6 +38,18 @@ class FeatureMatrix:
         return self.matrix.shape[1]
 
 
+#: The single category NaN/None values canonicalize to.  A plain string so it
+#: sorts, hashes and renders in feature names like any other category.
+MISSING_CATEGORY = "<missing>"
+
+
+def _is_missing(value: object) -> bool:
+    """True for the values treated as "missing": None and float NaN."""
+    if value is None:
+        return True
+    return isinstance(value, float) and np.isnan(value)
+
+
 class OneHotEncoder:
     """One-hot encode a single categorical column into a sparse 0/1 matrix.
 
@@ -45,17 +57,45 @@ class OneHotEncoder:
     CSR matrix with one column per learned category in :meth:`transform`.
     Unknown categories at transform time either raise (default) or map to an
     all-zero row when ``handle_unknown='ignore'``.
+
+    Missing values (``None`` and float NaN) are canonicalized to the single
+    :data:`MISSING_CATEGORY` before anything else (``missing='encode'``, the
+    default) -- without this, ``NaN != NaN`` makes ``fit`` keep one category
+    per NaN occurrence and ``transform`` then fails on the exact data it was
+    fitted on.  ``missing='error'`` rejects missing values with a
+    :class:`SchemaError` instead.
     """
 
-    def __init__(self, handle_unknown: str = "error"):
+    def __init__(self, handle_unknown: str = "error", missing: str = "encode"):
         if handle_unknown not in ("error", "ignore"):
             raise ValueError("handle_unknown must be 'error' or 'ignore'")
+        if missing not in ("encode", "error"):
+            raise ValueError("missing must be 'encode' or 'error'")
         self.handle_unknown = handle_unknown
+        self.missing = missing
         self.categories_: Optional[List[object]] = None
         self._index: Dict[object, int] = {}
 
+    def _canonicalize(self, values: Sequence, stage: str) -> List[object]:
+        # No np.asarray here: coercing a mixed list like ["x", nan] to a
+        # Unicode array would turn NaN into the string "nan" before the
+        # missing-value check can see it.
+        seq = values.tolist() if isinstance(values, np.ndarray) else list(values)
+        out = []
+        for i, v in enumerate(seq):
+            if _is_missing(v):
+                if self.missing == "error":
+                    raise SchemaError(
+                        f"missing value ({v!r}) at row {i} during {stage}; "
+                        "this encoder was configured with missing='error' -- "
+                        "impute the column or use missing='encode'"
+                    )
+                v = MISSING_CATEGORY
+            out.append(v)
+        return out
+
     def fit(self, values: Sequence) -> "OneHotEncoder":
-        uniques = sorted(set(np.asarray(values).tolist()), key=repr)
+        uniques = sorted(set(self._canonicalize(values, "fit")), key=repr)
         self.categories_ = list(uniques)
         self._index = {v: i for i, v in enumerate(self.categories_)}
         return self
@@ -63,7 +103,7 @@ class OneHotEncoder:
     def transform(self, values: Sequence) -> sp.csr_matrix:
         if self.categories_ is None:
             raise SchemaError("OneHotEncoder.transform called before fit")
-        values = np.asarray(values).tolist()
+        values = self._canonicalize(values, "transform")
         rows, cols = [], []
         for i, v in enumerate(values):
             j = self._index.get(v)

@@ -22,7 +22,9 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import SchemaError
+from repro.la.chain import ChainedIndicator
 from repro.la.ops import indicator_from_labels
+from repro.relational.schema import Column, TableSchema
 from repro.relational.table import Table
 
 
@@ -51,6 +53,30 @@ class JoinResult:
 # PK-FK joins
 # ---------------------------------------------------------------------------
 
+def _check_key_nan(table: Table, column: str, role: str) -> None:
+    """Reject NaN join-key values with an error naming the table and column."""
+    values = table.column(column)
+    if np.issubdtype(values.dtype, np.floating):
+        nan_mask = np.isnan(values)
+        if nan_mask.any():
+            row = int(np.argmax(nan_mask))
+        else:
+            return
+    elif values.dtype == object:
+        nan_rows = [i for i, v in enumerate(values.tolist())
+                    if isinstance(v, float) and np.isnan(v)]
+        if not nan_rows:
+            return
+        row = nan_rows[0]
+    else:
+        return
+    raise SchemaError(
+        f"{role} column {table.name}.{column} contains NaN at row {row}; "
+        "NaN never equals any key, so the join is undefined -- drop or "
+        "impute the rows first"
+    )
+
+
 def pk_fk_indicator(entity: Table, fk_column: str, attribute: Table,
                     pk_column: str) -> Tuple[sp.csr_matrix, np.ndarray]:
     """Build the PK-FK indicator matrix ``K`` for one foreign-key edge.
@@ -58,23 +84,52 @@ def pk_fk_indicator(entity: Table, fk_column: str, attribute: Table,
     ``K`` has shape ``(n_S, n_R)`` with ``K[i, j] = 1`` iff row ``i`` of the
     entity table references row ``j`` of the attribute table.  Every entity row
     must reference an existing attribute row (standard referential integrity);
-    a dangling foreign key raises :class:`SchemaError`.
+    a dangling foreign key raises :class:`SchemaError` naming the offending
+    value, and NaN foreign keys are rejected up front (NaN never matches a
+    primary key).
+
+    The key lookup goes through the attribute table's cached
+    :meth:`~repro.relational.table.Table.positions_for_keys` index and is
+    vectorized, so repeated indicator builds against the same attribute table
+    (every snowflake alias sharing a dimension, every rebuild in a training
+    sweep) reuse one sorted index instead of re-hashing the primary key
+    column per call.
 
     Returns the indicator matrix together with the integer row labels used to
     build it (``labels[i] = j``).
     """
-    pk_index = attribute.key_position_index(pk_column)
     fk_values = entity.column(fk_column)
-    labels = np.empty(entity.num_rows, dtype=np.int64)
-    for i, value in enumerate(fk_values.tolist()):
-        if value not in pk_index:
-            raise SchemaError(
-                f"foreign key value {value!r} in {entity.name}.{fk_column} "
-                f"has no match in {attribute.name}.{pk_column}"
-            )
-        labels[i] = pk_index[value]
+    _check_key_nan(entity, fk_column, "foreign key")
+    # A NaN primary key is just as broken as a NaN foreign key: no FK value
+    # can ever reference it, so the row is silently unreachable.
+    _check_key_nan(attribute, pk_column, "primary key")
+    try:
+        labels = attribute.positions_for_keys(pk_column, fk_values)
+    except SchemaError as exc:
+        value = getattr(exc, "key", None)
+        if value is None:
+            raise  # table-level problem (e.g. duplicate primary key)
+        raise SchemaError(
+            f"foreign key value {value!r} in {entity.name}.{fk_column} "
+            f"has no match in {attribute.name}.{pk_column}"
+        ) from None
     indicator = indicator_from_labels(labels, num_columns=attribute.num_rows)
     return indicator, labels
+
+
+def chained_indicator(hops: Sequence[sp.spmatrix]):
+    """Compose per-hop PK-FK indicators into one (possibly chained) indicator.
+
+    A single hop is returned as-is; multiple hops become a factorized
+    :class:`~repro.la.chain.ChainedIndicator` representing the product
+    ``K_1 K_2 ... K_h`` without materializing it.
+    """
+    hops = list(hops)
+    if not hops:
+        raise SchemaError("chained_indicator needs at least one hop")
+    if len(hops) == 1:
+        return hops[0]
+    return ChainedIndicator(hops)
 
 
 def drop_unreferenced(entity: Table, fk_column: str, attribute: Table,
@@ -104,11 +159,23 @@ def join_pk_fk(entity: Table, fk_column: str, attribute: Table, pk_column: str,
     if attribute_columns is None:
         attribute_columns = [c for c in attribute.column_names if c != pk_column]
     columns: Dict[str, np.ndarray] = {c: entity.column(c) for c in entity.column_names}
+    schema_cols = [entity._column_meta(c) for c in entity.column_names]
     for col in attribute_columns:
         values = attribute.column(col)[labels]
         out_name = col if col not in columns else f"{attribute.name}.{col}"
         columns[out_name] = values
-    return Table(f"{entity.name}_join_{attribute.name}", columns)
+        meta = attribute._column_meta(col)
+        schema_cols.append(meta if meta.name == out_name
+                           else Column(out_name, meta.ctype))
+    # Column roles survive materialization: the joined table keeps the entity
+    # side's keys and every source column's declared type, so downstream
+    # encode_features still one-hot encodes categorical-coded numeric columns.
+    schema = TableSchema(
+        name=f"{entity.name}_join_{attribute.name}", columns=schema_cols,
+        primary_key=entity.schema.primary_key,
+        foreign_keys=list(entity.schema.foreign_keys),
+    )
+    return Table(f"{entity.name}_join_{attribute.name}", columns, schema=schema)
 
 
 def join_star(entity: Table, edges: Sequence[Tuple[str, Table, str]]) -> Table:
@@ -149,6 +216,8 @@ def mn_join_indicators(left: Table, left_column: str, right: Table,
     Output rows are ordered by left row index then right row index, which is
     deterministic and matches a nested-loop join over sorted groups.
     """
+    _check_key_nan(left, left_column, "M:N join key")
+    _check_key_nan(right, right_column, "M:N join key")
     right_groups = right.group_positions(right_column)
     left_values = left.column(left_column)
     left_rows: List[int] = []
@@ -181,12 +250,20 @@ def join_mn(left: Table, left_column: str, right: Table, right_column: str,
     if right_columns is None:
         right_columns = [c for c in right.column_names if c != right_column]
     columns: Dict[str, np.ndarray] = {}
+    schema_cols = []
     for col in left_columns:
         columns[col] = left.column(col)[left_labels]
+        schema_cols.append(left._column_meta(col))
     for col in right_columns:
         out_name = col if col not in columns else f"{right.name}.{col}"
         columns[out_name] = right.column(col)[right_labels]
-    return Table(f"{left.name}_mnjoin_{right.name}", columns)
+        meta = right._column_meta(col)
+        schema_cols.append(meta if meta.name == out_name
+                           else Column(out_name, meta.ctype))
+    # The join output has no primary key (rows multiply), but column types
+    # must survive so feature encoding treats the output like the sources.
+    schema = TableSchema(name=f"{left.name}_mnjoin_{right.name}", columns=schema_cols)
+    return Table(f"{left.name}_mnjoin_{right.name}", columns, schema=schema)
 
 
 def mn_drop_noncontributing(left: Table, left_column: str, right: Table,

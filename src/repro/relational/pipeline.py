@@ -23,7 +23,12 @@ from repro.core.normalized_matrix import NormalizedMatrix
 from repro.exceptions import SchemaError
 from repro.la.types import MatrixLike
 from repro.relational.encoding import encode_features
-from repro.relational.join import mn_join_indicators, pk_fk_indicator
+from repro.relational.join import (
+    chained_indicator,
+    mn_join_indicators,
+    pk_fk_indicator,
+)
+from repro.relational.schema import SchemaGraph
 from repro.relational.table import Table
 
 #: A star-schema join edge: (foreign-key column in the entity table,
@@ -106,8 +111,148 @@ def normalized_from_tables(entity: Table, edges: Sequence[JoinEdge],
 
     target = None
     if target_column is not None:
-        target = np.asarray(entity.column(target_column), dtype=np.float64).reshape(-1, 1)
+        target = _target_vector(entity, target_column)
     return NormalizedDataset(matrix=matrix, feature_names=feature_names, target=target)
+
+
+def _target_vector(entity: Table, target_column: str) -> np.ndarray:
+    """The target column as an ``(n, 1)`` float vector, with a typed error.
+
+    Booleans are accepted (0/1 labels); any other non-numeric dtype raises a
+    :class:`SchemaError` naming the column and its dtype instead of letting
+    ``np.asarray(..., dtype=float)`` surface a bare ``ValueError``.
+    """
+    values = entity.column(target_column)
+    if values.dtype == bool:
+        values = values.astype(np.float64)
+    if not np.issubdtype(values.dtype, np.number):
+        raise SchemaError(
+            f"target column {target_column!r} of table {entity.name!r} has "
+            f"non-numeric dtype {values.dtype}; encode or cast it to numbers "
+            "before training"
+        )
+    return np.asarray(values, dtype=np.float64).reshape(-1, 1)
+
+
+def normalized_from_schema(graph: SchemaGraph, tables,
+                           entity_features: Optional[Sequence[str]] = None,
+                           target_column: Optional[str] = None,
+                           sparse: bool = True,
+                           features: Optional[dict] = None,
+                           collapse: str = "auto",
+                           workload=None) -> NormalizedDataset:
+    """Lift a declarative snowflake :class:`SchemaGraph` into a normalized matrix.
+
+    Walks the graph's joins masters-first, builds one PK-FK hop indicator per
+    join (memoized, so a shared dimension joined under two roles reuses the
+    same hop matrix), and gives each alias a (possibly multi-hop) indicator:
+    the chain of hops along ``graph.join_path(alias)``, kept factorized as a
+    :class:`~repro.la.chain.ChainedIndicator` unless the collapse policy
+    decides materializing the product is cheaper for the workload.
+
+    Parameters
+    ----------
+    graph:
+        The validated join graph (fact table, joins, aliases).
+    tables:
+        Mapping of physical table name -> :class:`Table` realizing the graph.
+    entity_features:
+        Feature columns of the fact table.  ``None`` (default) derives them
+        from the fact table's schema: all feature-typed columns that are not
+        used as a join key in the graph.  Pass ``()`` for no entity features.
+    target_column:
+        Optional fact-table column returned as the target vector.
+    features:
+        Optional per-alias override: alias -> list of feature columns of that
+        dimension table.  Aliases not listed fall back to the schema-derived
+        default (feature columns minus the keys the graph uses).
+    collapse:
+        Chain-collapse policy: ``"auto"`` (cost-based,
+        :func:`repro.core.planner.chains.decide_collapse`), ``"never"``, or
+        ``"always"``.  Decisions are recorded on the result matrix
+        (``chain_decisions``) so ``Plan.explain()`` can report them.
+    workload:
+        Optional :class:`~repro.core.planner.workload.WorkloadDescriptor`
+        informing the ``"auto"`` collapse decision (how many passes will
+        amortize a materialized chain); defaults to a single generic pass.
+    """
+    from repro.core.planner.chains import maybe_collapse
+
+    graph.validate_tables(tables)
+    fact = tables[graph.fact]
+
+    # The graph's join keys never default to features: FK columns on the
+    # master side, PK columns on the detail side.
+    keys_used: dict = {graph.fact: set()}
+    for join in graph.resolve_order():
+        keys_used.setdefault(join.alias, set()).add(join.detail.column)
+        master_name = join.master.table
+        keys_used.setdefault(master_name, set()).add(join.master.column)
+
+    def default_features(alias: str, table: Table) -> List[str]:
+        used = keys_used.get(alias, set())
+        return [c.name for c in table.schema.feature_columns() if c.name not in used]
+
+    feature_names: List[str] = []
+    entity_matrix = None
+    if entity_features is None:
+        entity_features = default_features(graph.fact, fact)
+    if target_column is not None:
+        entity_features = [c for c in entity_features if c != target_column]
+    if entity_features:
+        encoded = encode_features(fact, columns=list(entity_features), sparse=sparse)
+        entity_matrix = encoded.matrix
+        feature_names.extend(encoded.feature_names)
+
+    # One hop indicator per join, memoized on the join object: a shared
+    # dimension reached through two roles rebuilds nothing, and the cached
+    # positions_for_keys index inside pk_fk_indicator dedupes the key hashing
+    # across joins against the same detail table.
+    hop_cache: dict = {}
+
+    def hop_indicator(join):
+        if join not in hop_cache:
+            master_table = tables[graph.table_for(join.master.table)]
+            detail_table = tables[join.detail.table]
+            indicator, _ = pk_fk_indicator(
+                master_table, join.master.column, detail_table, join.detail.column)
+            hop_cache[join] = indicator
+        return hop_cache[join]
+
+    indicators = []
+    attributes = []
+    chain_decisions: List[dict] = []
+    overrides = features or {}
+    for table_index, join in enumerate(graph.resolve_order()):
+        alias = join.alias
+        detail_table = tables[join.detail.table]
+        hops = [hop_indicator(j) for j in graph.join_path(alias)]
+        indicator = chained_indicator(hops)
+        if len(hops) > 1:
+            indicator, decision = maybe_collapse(
+                indicator, workload, table_index, mode=collapse)
+            if decision.collapse:
+                # Live chains get fresh decisions at plan time; only collapsed
+                # ones must be recorded here or the choice would be invisible.
+                chain_decisions.append(decision.to_json())
+        alias_features = overrides.get(alias)
+        if alias_features is None:
+            alias_features = default_features(alias, detail_table)
+        encoded = encode_features(detail_table, columns=list(alias_features),
+                                  sparse=sparse)
+        indicators.append(indicator)
+        attributes.append(encoded.matrix)
+        feature_names.extend(f"{alias}.{name}" for name in encoded.feature_names)
+
+    normalized = NormalizedMatrix(entity_matrix, indicators, attributes)
+    if chain_decisions:
+        normalized.chain_decisions = chain_decisions
+
+    target = None
+    if target_column is not None:
+        target = _target_vector(fact, target_column)
+    return NormalizedDataset(matrix=normalized, feature_names=feature_names,
+                             target=target)
 
 
 def mn_normalized_from_tables(left: Table, left_join_column: str,

@@ -107,13 +107,35 @@ class Table:
 
     # -- relational operations -------------------------------------------------
 
+    def _column_meta(self, name: str) -> Column:
+        """The declared :class:`Column` for *name*, or an inferred one."""
+        if name in self.schema.column_names:
+            return self.schema.column(name)
+        arr = self._columns[name]
+        ctype = (ColumnType.NUMERIC if np.issubdtype(arr.dtype, np.number)
+                 else ColumnType.CATEGORICAL)
+        return Column(name, ctype)
+
     def project(self, column_names: Sequence[str]) -> "Table":
-        """Return a new table with only the requested columns (preserving order)."""
+        """Return a new table with only the requested columns (preserving order).
+
+        The declared schema follows the projection: column types are kept, the
+        primary key survives if projected, and foreign keys whose column is
+        projected are retained.
+        """
         missing = [c for c in column_names if c not in self._columns]
         if missing:
             raise SchemaError(f"table {self.name!r} has no columns {missing}")
         cols = {c: self._columns[c] for c in column_names}
-        return Table(self.name, cols)
+        kept = set(column_names)
+        schema = TableSchema(
+            name=self.schema.name,
+            columns=[self._column_meta(c) for c in column_names],
+            primary_key=(self.schema.primary_key
+                         if self.schema.primary_key in kept else None),
+            foreign_keys=[fk for fk in self.schema.foreign_keys if fk.column in kept],
+        )
+        return Table(self.name, cols, schema=schema)
 
     def select_rows(self, row_indices: Sequence[int]) -> "Table":
         """Return a new table containing only the rows at *row_indices* (in order)."""
@@ -128,10 +150,30 @@ class Table:
         return {c: arr[index] for c, arr in self._columns.items()}
 
     def with_column(self, name: str, values: Sequence) -> "Table":
-        """Return a copy of the table with an extra (or replaced) column."""
+        """Return a copy of the table with an extra (or replaced) column.
+
+        The declared schema is threaded through: existing columns keep their
+        declared types (a replaced column keeps its declaration too -- the
+        caller is updating values, not semantics), and a genuinely new column
+        is appended with an inferred type.  Dropping the schema here would
+        silently degrade every declared CATEGORICAL/KEY column to the
+        dtype-inferred default downstream (``encode_features`` would then
+        misclassify categorical-coded numeric columns).
+        """
         cols = dict(self._columns)
-        cols[name] = np.asarray(values)
-        return Table(self.name, cols)
+        arr = np.asarray(values)
+        cols[name] = arr
+        schema = self.schema
+        if name not in schema.column_names:
+            ctype = (ColumnType.NUMERIC if np.issubdtype(arr.dtype, np.number)
+                     else ColumnType.CATEGORICAL)
+            schema = TableSchema(
+                name=schema.name,
+                columns=list(schema.columns) + [Column(name, ctype)],
+                primary_key=schema.primary_key,
+                foreign_keys=list(schema.foreign_keys),
+            )
+        return Table(self.name, cols, schema=schema)
 
     # -- change capture (incremental maintenance) -------------------------------
 
@@ -264,36 +306,73 @@ class Table:
             index[value] = pos
         return index
 
-    def positions_for_keys(self, key_column: str, values: Sequence) -> np.ndarray:
-        """Batch key -> row lookup: row positions of *values* by primary key.
-        (Per-key dict lookups over a cached index -- O(1) each, not
-        numpy-vectorized; fine for request-sized batches.)
+    def _key_index(self, key_column: str):
+        """Cached ``(dict index, sort order, sorted keys)`` for one key column.
 
-        This is the serving-time bridge from natural keys (product ids,
-        account numbers) to the attribute-table row indices the factorized
-        scorer gathers partial scores with.  The position index is built
-        once per ``(table, column)`` and cached on the table; this is safe
-        because column arrays are stored read-only -- in-place writes raise,
-        and the sanctioned mutation path (``upsert_rows`` / ``delete_rows``)
-        returns a successor table with fresh caches.  Unknown keys raise
-        :class:`SchemaError`.
+        The sorted pair enables the vectorized ``searchsorted`` lookup path;
+        it is ``(None, None)`` for object-dtype columns, whose values may not
+        be mutually orderable (the dict path handles those).
         """
         cache = getattr(self, "_key_indexes", None)
         if cache is None:
             cache = {}
             self._key_indexes = cache
-        index = cache.get(key_column)
-        if index is None:
+        entry = cache.get(key_column)
+        if entry is None:
             index = self.key_position_index(key_column)
-            cache[key_column] = index
-        positions = np.empty(len(values), dtype=np.int64)
-        for i, value in enumerate(np.asarray(values).tolist()):
+            keys = self.column(key_column)
+            order = sorted_keys = None
+            if keys.dtype != object:
+                order = np.argsort(keys, kind="stable")
+                sorted_keys = keys[order]
+            entry = (index, order, sorted_keys)
+            cache[key_column] = entry
+        return entry
+
+    def positions_for_keys(self, key_column: str, values: Sequence) -> np.ndarray:
+        """Batch key -> row lookup: row positions of *values* by primary key.
+
+        This is the bridge from natural keys (product ids, account numbers)
+        to the attribute-table row indices indicator matrices and the
+        factorized scorer are built on.  Lookups are vectorized: a one-time
+        ``argsort`` of the key column (cached per ``(table, column)``) turns
+        each batch into one ``searchsorted`` over the sorted keys.
+        Object-dtype columns fall back to per-key dict lookups over the same
+        cached index.  The cache is safe because column arrays are stored
+        read-only -- in-place writes raise, and the sanctioned mutation path
+        (``upsert_rows`` / ``delete_rows``) returns a successor table with
+        fresh caches.  Unknown keys raise :class:`SchemaError` (with the
+        offending value on the exception's ``key`` attribute so join-layer
+        callers can re-raise with foreign-key context).
+        """
+        index, order, sorted_keys = self._key_index(key_column)
+        arr = np.asarray(values)
+        same_kind = (sorted_keys is not None and arr.dtype != object
+                     and (arr.dtype.kind == sorted_keys.dtype.kind
+                          or (arr.dtype.kind in "biuf" and sorted_keys.dtype.kind in "biuf")))
+        if same_kind and sorted_keys.size:
+            flat = arr.ravel()
+            pos = np.searchsorted(sorted_keys, flat)
+            pos = np.minimum(pos, sorted_keys.shape[0] - 1)
+            found = sorted_keys[pos] == flat  # NaN lookups compare unequal -> unknown
+            if not np.all(found):
+                bad = flat[int(np.argmax(~found))].item()
+                exc = SchemaError(
+                    f"table {self.name!r}: unknown key {bad!r} in column {key_column!r}"
+                )
+                exc.key = bad
+                raise exc
+            return order[pos].astype(np.int64)
+        positions = np.empty(arr.size, dtype=np.int64)
+        for i, value in enumerate(arr.tolist()):
             try:
                 positions[i] = index[value]
-            except KeyError:
-                raise SchemaError(
+            except (KeyError, TypeError):
+                exc = SchemaError(
                     f"table {self.name!r}: unknown key {value!r} in column {key_column!r}"
-                ) from None
+                )
+                exc.key = value
+                raise exc from None
         return positions
 
     def group_positions(self, column_name: str) -> Dict[object, List[int]]:

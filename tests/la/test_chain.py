@@ -1,0 +1,222 @@
+"""Unit tests for :class:`repro.la.chain.ChainedIndicator`.
+
+Every structural operation (products, transposes, aggregation, slicing) is
+checked against the collapsed CSR product -- the chain must be
+indistinguishable from the matrix it represents.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import ShapeError
+from repro.la.chain import ChainedIndicator
+from repro.la.ops import indicator_from_labels
+
+
+def _hops():
+    """entity(8) -> K1(4) -> K2(2): a surjective two-hop chain."""
+    k1 = indicator_from_labels([0, 1, 2, 3, 3, 2, 1, 0], num_columns=4)
+    k2 = indicator_from_labels([0, 1, 0, 1], num_columns=2)
+    return k1, k2
+
+
+def _chain():
+    return ChainedIndicator(list(_hops()))
+
+
+def _reference():
+    k1, k2 = _hops()
+    return (k1 @ k2).toarray()
+
+
+# -- construction --------------------------------------------------------------
+
+
+def test_empty_hops_rejected():
+    with pytest.raises(ShapeError, match="at least one hop"):
+        ChainedIndicator([])
+
+
+def test_dense_hop_rejected():
+    with pytest.raises(ShapeError, match="must be sparse"):
+        ChainedIndicator([np.eye(3)])
+
+
+def test_inner_dimension_mismatch_rejected():
+    k1 = indicator_from_labels([0, 1, 2], num_columns=3)
+    k2 = indicator_from_labels([0, 1], num_columns=2)  # 2 rows != 3 columns
+    with pytest.raises(ShapeError, match="hop 0 has 3 columns but hop 1 has 2 rows"):
+        ChainedIndicator([k1, k2])
+
+
+def test_nested_chain_flattens():
+    k1, k2 = _hops()
+    inner = ChainedIndicator([k2])
+    chain = ChainedIndicator([k1, inner])
+    assert chain.num_hops == 2
+    np.testing.assert_array_equal(chain.toarray(), _reference())
+
+
+def test_nested_transposed_chain_rejected():
+    k1, k2 = _hops()
+    with pytest.raises(ShapeError, match="transposed chain"):
+        ChainedIndicator([k1, ChainedIndicator([k2]).T])
+
+
+# -- shape, transpose, materialization -----------------------------------------
+
+
+def test_shape_and_metadata():
+    chain = _chain()
+    assert chain.shape == (8, 2)
+    assert chain.ndim == 2
+    assert chain.T.shape == (2, 8)
+    assert chain.T.T.shape == (8, 2)
+    assert chain.nnz == 8  # one 1 per entity row, like any PK-FK indicator
+
+
+def test_collapse_is_cached_and_correct():
+    chain = _chain()
+    first = chain.collapse()
+    assert chain.collapse() is first
+    np.testing.assert_array_equal(first.toarray(), _reference())
+    # The transposed view shares the cached product.
+    assert chain.T._collapsed is first
+
+
+def test_tocsr_and_toarray_respect_transpose():
+    chain = _chain()
+    np.testing.assert_array_equal(chain.toarray(), _reference())
+    np.testing.assert_array_equal(chain.T.toarray(), _reference().T)
+    assert sp.issparse(chain.T.tocsr())
+
+
+def test_copy_and_astype():
+    chain = _chain()
+    dup = chain.copy()
+    assert dup is not chain
+    assert dup.hops[0] is not chain.hops[0]
+    np.testing.assert_array_equal(dup.toarray(), chain.toarray())
+    as_f32 = chain.astype(np.float32)
+    assert as_f32.dtype == np.float32
+    np.testing.assert_array_equal(as_f32.toarray(), _reference().astype(np.float32))
+
+
+# -- products ------------------------------------------------------------------
+
+
+def test_matmul_matches_collapsed():
+    rng = np.random.default_rng(0)
+    chain = _chain()
+    x = rng.standard_normal((2, 3))
+    np.testing.assert_allclose(chain @ x, _reference() @ x, atol=1e-12)
+
+
+def test_matmul_one_dimensional_operand():
+    chain = _chain()
+    v = np.arange(2.0)
+    out = chain @ v
+    assert out.shape == (8, 1)
+    np.testing.assert_allclose(out[:, 0], _reference() @ v, atol=1e-12)
+
+
+def test_rmatmul_matches_collapsed():
+    rng = np.random.default_rng(1)
+    chain = _chain()
+    y = rng.standard_normal((5, 8))
+    np.testing.assert_allclose(y @ chain, y @ _reference(), atol=1e-12)
+    w = np.arange(8.0)
+    out = w @ chain
+    assert out.shape == (1, 2)
+    np.testing.assert_allclose(out[0], w @ _reference(), atol=1e-12)
+
+
+def test_transposed_products():
+    rng = np.random.default_rng(2)
+    chain = _chain()
+    x = rng.standard_normal((8, 3))
+    np.testing.assert_allclose(chain.T @ x, _reference().T @ x, atol=1e-12)
+    y = rng.standard_normal((4, 2))
+    np.testing.assert_allclose(y @ chain.T, y @ _reference().T, atol=1e-12)
+
+
+def test_sparse_operands_stay_sparse():
+    chain = _chain()
+    x = sp.random(2, 4, density=0.5, format="csr", random_state=3)
+    out = chain @ x
+    assert sp.issparse(out)
+    np.testing.assert_allclose(out.toarray(), _reference() @ x.toarray(), atol=1e-12)
+
+
+def test_matmul_shape_mismatch():
+    chain = _chain()
+    with pytest.raises(ShapeError, match="inner dimensions"):
+        chain @ np.ones((3, 3))
+    with pytest.raises(ShapeError, match="inner dimensions"):
+        np.ones((3, 3)) @ chain
+
+
+def test_chain_matmul_chain():
+    k1, k2 = _hops()
+    left = ChainedIndicator([k1])
+    right = ChainedIndicator([k2])
+    np.testing.assert_array_equal(np.asarray((left @ right).todense()), _reference())
+
+
+# -- aggregation ---------------------------------------------------------------
+
+
+def test_sum_matches_scipy_semantics():
+    chain = _chain()
+    ref = sp.csr_matrix(_reference())
+    assert chain.sum() == ref.sum()
+    np.testing.assert_array_equal(np.asarray(chain.sum(axis=0)), np.asarray(ref.sum(axis=0)))
+    np.testing.assert_array_equal(np.asarray(chain.sum(axis=1)), np.asarray(ref.sum(axis=1)))
+    np.testing.assert_array_equal(np.asarray(chain.T.sum(axis=0)),
+                                  np.asarray(ref.T.sum(axis=0)))
+
+
+# -- slicing -------------------------------------------------------------------
+
+
+def test_row_slice_stays_factorized_and_shares_tail():
+    chain = _chain()
+    sliced = chain[2:6, :]
+    assert isinstance(sliced, ChainedIndicator)
+    assert sliced.hops[1] is chain.hops[1]  # tail hop shared by reference
+    np.testing.assert_array_equal(sliced.toarray(), _reference()[2:6, :])
+
+
+def test_column_slice_stays_factorized_and_shares_head():
+    chain = _chain()
+    sliced = chain[:, [1]]
+    assert isinstance(sliced, ChainedIndicator)
+    assert sliced.hops[0] is chain.hops[0]  # head hop shared by reference
+    np.testing.assert_array_equal(sliced.toarray(), _reference()[:, [1]])
+
+
+def test_full_slice_returns_equivalent_chain():
+    chain = _chain()
+    sliced = chain[:, :]
+    assert isinstance(sliced, ChainedIndicator)
+    np.testing.assert_array_equal(sliced.toarray(), _reference())
+
+
+def test_row_and_column_slice_falls_back_to_collapsed():
+    chain = _chain()
+    out = chain[1:4, 0:1]
+    assert sp.issparse(out)
+    np.testing.assert_array_equal(out.toarray(), _reference()[1:4, 0:1])
+
+
+def test_transposed_slicing():
+    chain = _chain().T
+    sliced = chain[:, 2:6]  # columns of the transpose = rows of the product
+    assert isinstance(sliced, ChainedIndicator)
+    np.testing.assert_array_equal(sliced.toarray(), _reference().T[:, 2:6])
+
+
+def test_non_2d_indexing_rejected():
+    with pytest.raises(TypeError, match="2-D indexing"):
+        _chain()[0]

@@ -95,6 +95,50 @@ def _random_pk_fk(rng: np.random.Generator, seed: int, sparse_bases: bool) -> Ca
                 dense, normalized)
 
 
+def _random_snowflake(rng: np.random.Generator, seed: int, sparse_bases: bool) -> Case:
+    """A snowflake case: one 2-3 hop chained indicator, optional extra star join."""
+    from repro.la.chain import ChainedIndicator
+
+    n_s = int(rng.integers(2, 41))
+    d_s = int(rng.integers(0, 4))
+    entity = None
+    if d_s > 0:
+        entity = rng.standard_normal((n_s, d_s))
+        if sparse_bases:
+            entity = sp.csr_matrix(np.where(rng.random((n_s, d_s)) < 0.5, entity, 0.0))
+    num_hops = int(rng.integers(2, 4))
+    hops = []
+    rows = n_s
+    for _ in range(num_hops):
+        n_next = int(rng.integers(1, rows + 1))
+        # Each hop surjective (every referenced row reached), so the chain
+        # product satisfies the full-column indicator invariant too.
+        labels = np.concatenate([np.arange(n_next), rng.integers(0, n_next, size=rows - n_next)])
+        rng.shuffle(labels)
+        hops.append(indicator_from_labels(labels, num_columns=n_next))
+        rows = n_next
+    d_r = int(rng.integers(1, 5))
+    attribute = rng.standard_normal((rows, d_r))
+    if sparse_bases:
+        attribute = sp.csr_matrix(np.where(rng.random((rows, d_r)) < 0.6, attribute, 0.0))
+    indicators: list = [ChainedIndicator(hops)]
+    attributes: list = [attribute]
+    if rng.random() < 0.5:  # mix a plain single-hop join next to the chain
+        n_r = int(rng.integers(1, n_s + 1))
+        d2 = int(rng.integers(1, 4))
+        extra = rng.standard_normal((n_r, d2))
+        if sparse_bases:
+            extra = sp.csr_matrix(np.where(rng.random((n_r, d2)) < 0.6, extra, 0.0))
+        labels = np.concatenate([np.arange(n_r), rng.integers(0, n_r, size=n_s - n_r)])
+        rng.shuffle(labels)
+        indicators.append(indicator_from_labels(labels, num_columns=n_r))
+        attributes.append(extra)
+    normalized = NormalizedMatrix(entity, indicators, attributes)
+    dense = np.asarray(normalized.to_dense())
+    return Case(seed, f"snowflake(hops={num_hops}, n_s={n_s}, sparse={sparse_bases})",
+                dense, normalized)
+
+
 def _random_mn(rng: np.random.Generator, seed: int, sparse_bases: bool) -> Case:
     """A general M:N equi-join case with 2-3 component tables."""
     num_components = int(rng.integers(2, 4))
@@ -127,6 +171,8 @@ def generate_case(seed: int, force_density: str = "random") -> Case:
         sparse_bases = bool(rng.random() < 0.5)
     if rng.random() < 0.35:
         return _random_mn(rng, seed, sparse_bases)
+    if rng.random() < 0.3:
+        return _random_snowflake(rng, seed, sparse_bases)
     return _random_pk_fk(rng, seed, sparse_bases)
 
 
@@ -235,10 +281,11 @@ def test_generator_is_deterministic():
     assert np.array_equal(a.dense, b.dense)
 
 
-def test_generator_covers_both_join_families_and_densities():
+def test_generator_covers_all_join_families_and_densities():
     descriptions = [generate_case(seed).description for seed in range(CASES_PER_BACKEND)]
     assert any(d.startswith("pkfk") for d in descriptions)
     assert any(d.startswith("mn") for d in descriptions)
+    assert any(d.startswith("snowflake") for d in descriptions)
     assert any("sparse=True" in d for d in descriptions)
     assert any("sparse=False" in d for d in descriptions)
 

@@ -114,3 +114,51 @@ class TestEncodeFeatures:
         fm = FeatureMatrix(np.zeros((2, 3)), ["a", "b", "c"])
         assert fm.shape == (2, 3)
         assert fm.num_features == 3
+
+
+class TestMissingValues:
+    """NaN/None categoricals canonicalize to one shared missing category."""
+
+    def test_nan_values_become_single_category(self):
+        encoder = OneHotEncoder()
+        encoder.fit([np.nan, "a", float("nan"), None, "b"])
+        # Without canonicalization each NaN would be its own category
+        # (NaN != NaN) and transform would fail on the fitted data itself.
+        assert encoder.categories_ == ["<missing>", "a", "b"]
+
+    def test_fit_transform_round_trips_on_nan_data(self):
+        values = ["a", np.nan, "b", None, np.nan]
+        encoded = OneHotEncoder().fit_transform(values)
+        assert encoded.shape == (5, 3)
+        np.testing.assert_array_equal(
+            np.asarray(encoded.sum(axis=1)).ravel(), np.ones(5))
+        # Both NaN and None land in the same column.
+        missing_col = np.asarray(encoded[:, 0].todense()).ravel()
+        np.testing.assert_array_equal(missing_col, [0, 1, 0, 1, 1])
+
+    def test_feature_names_include_missing(self):
+        encoder = OneHotEncoder()
+        encoder.fit(["x", np.nan])
+        assert encoder.feature_names("c") == ["c=<missing>", "c=x"]
+
+    def test_missing_error_mode_raises(self):
+        encoder = OneHotEncoder(missing="error")
+        with pytest.raises(SchemaError, match="missing value .* at row 1"):
+            encoder.fit(["a", np.nan])
+
+    def test_missing_error_mode_at_transform(self):
+        encoder = OneHotEncoder(missing="error")
+        encoder.fit(["a", "b"])
+        with pytest.raises(SchemaError, match="during transform"):
+            encoder.transform(["a", None])
+
+    def test_invalid_missing_mode(self):
+        with pytest.raises(ValueError, match="missing must be"):
+            OneHotEncoder(missing="drop")
+
+    def test_encode_features_handles_nan_column(self):
+        table = Table("t", {"city": np.array(["sf", np.nan, "la"], dtype=object)})
+        encoded = encode_features(table, columns=["city"])
+        assert encoded.feature_names == ["city=<missing>", "city=la", "city=sf"]
+        np.testing.assert_array_equal(
+            np.asarray(encoded.matrix.sum(axis=1)).ravel(), np.ones(3))

@@ -5,6 +5,7 @@ import pytest
 
 from repro.exceptions import SchemaError
 from repro.relational.join import (
+    chained_indicator,
     drop_unreferenced,
     join_mn,
     join_pk_fk,
@@ -14,6 +15,7 @@ from repro.relational.join import (
     pk_fk_indicator,
     star_indicators,
 )
+from repro.relational.schema import Column, ColumnType, TableSchema
 from repro.relational.table import Table
 
 
@@ -166,3 +168,87 @@ class TestMNJoin:
         right = Table("r", {"j": np.array([2])})
         with pytest.raises(SchemaError):
             mn_drop_noncontributing(left, "j", right, "j")
+
+
+class TestJoinKeyGuards:
+    def test_dangling_fk_error_names_value(self, stores):
+        bad = Table("sales", {"store_id": np.array([101, 999])})
+        with pytest.raises(
+                SchemaError,
+                match=r"foreign key value 999 in sales.store_id has no match "
+                      r"in stores.store_id"):
+            pk_fk_indicator(bad, "store_id", stores, "store_id")
+
+    def test_nan_foreign_key_rejected(self, stores):
+        bad = Table("sales", {"store_id": np.array([101.0, np.nan])})
+        with pytest.raises(
+                SchemaError,
+                match=r"foreign key column sales.store_id contains NaN at row 1"):
+            pk_fk_indicator(bad, "store_id", stores, "store_id")
+
+    def test_nan_primary_key_rejected(self, entity):
+        bad = Table("stores", {"store_id": np.array([101.0, np.nan, 103.0]),
+                               "size": np.array([1.0, 2.0, 3.0])})
+        with pytest.raises(
+                SchemaError,
+                match=r"primary key column stores.store_id contains NaN at row 1"):
+            pk_fk_indicator(entity, "store_id", bad, "store_id")
+
+    def test_nan_mn_join_key_rejected(self):
+        clean = Table("l", {"k": np.array([1.0, 2.0]), "x": np.array([1.0, 2.0])})
+        dirty = Table("r", {"k": np.array([1.0, np.nan]), "y": np.array([3.0, 4.0])})
+        with pytest.raises(SchemaError, match=r"join key column r.k contains NaN"):
+            mn_join_indicators(clean, "k", dirty, "k")
+        with pytest.raises(SchemaError, match=r"join key column r.k contains NaN"):
+            mn_join_indicators(dirty, "k", clean, "k")
+
+
+class TestChainedIndicatorBuilder:
+    def test_empty_hops_rejected(self):
+        with pytest.raises(SchemaError, match="at least one hop"):
+            chained_indicator([])
+
+    def test_single_hop_passes_through(self, entity, stores):
+        hop, _ = pk_fk_indicator(entity, "store_id", stores, "store_id")
+        assert chained_indicator([hop]) is hop
+
+    def test_multi_hop_builds_chain(self, entity, stores):
+        from repro.la.chain import ChainedIndicator
+        hop1, _ = pk_fk_indicator(entity, "store_id", stores, "store_id")
+        regions = Table("regions", {"region_id": np.array([0, 1])})
+        stores_with_region = stores.with_column("region_id", np.array([0, 1, 0]))
+        hop2, _ = pk_fk_indicator(stores_with_region, "region_id", regions, "region_id")
+        chain = chained_indicator([hop1, hop2])
+        assert isinstance(chain, ChainedIndicator)
+        assert chain.shape == (entity.num_rows, 2)
+        np.testing.assert_array_equal(
+            chain.toarray(), (hop1 @ hop2).toarray())
+
+
+class TestJoinedSchemaPreservation:
+    def test_join_pk_fk_keeps_categorical_codes(self):
+        entity = Table("sales", {
+            "store_id": np.array([0, 1, 0]),
+            "amount": np.array([10.0, 20.0, 30.0]),
+        })
+        stores = Table("stores", {
+            "store_id": np.array([0, 1]),
+            "tier": np.array([2, 5]),  # integer-coded categorical
+        }, schema=TableSchema("stores", [
+            Column("store_id", ColumnType.KEY),
+            Column("tier", ColumnType.CATEGORICAL),
+        ], primary_key="store_id"))
+        joined = join_pk_fk(entity, "store_id", stores, "store_id")
+        # The regression: rebuilding the output table from raw columns used to
+        # re-infer the schema, flipping the coded categorical to NUMERIC.
+        assert joined.schema.column("tier").ctype is ColumnType.CATEGORICAL
+
+    def test_join_mn_keeps_categorical_codes(self):
+        left = Table("l", {"k": np.array([1, 1]), "code": np.array([7, 8])},
+                     schema=TableSchema("l", [
+                         Column("k", ColumnType.KEY),
+                         Column("code", ColumnType.CATEGORICAL),
+                     ]))
+        right = Table("r", {"k": np.array([1]), "y": np.array([0.5])})
+        joined = join_mn(left, "k", right, "k")
+        assert joined.schema.column("code").ctype is ColumnType.CATEGORICAL

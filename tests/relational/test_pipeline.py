@@ -10,6 +10,7 @@ from repro.exceptions import SchemaError
 from repro.relational.pipeline import (
     NormalizedDataset,
     mn_normalized_from_tables,
+    normalized_from_schema,
     normalized_from_tables,
 )
 from repro.relational.table import Table
@@ -131,3 +132,165 @@ class TestMNNormalizedFromTables:
                                             sparse=False)
         dense = dataset.matrix.to_dense()
         assert np.allclose(dense, [[1.0, 10.0], [2.0, 10.0], [3.0, 20.0]])
+
+
+class TestTargetValidation:
+    def test_non_numeric_target_raises_named_error(self):
+        entity = Table("orders", {
+            "store_id": np.array([0, 1]),
+            "status": np.array(["paid", "open"]),
+        })
+        stores = Table("stores", {"store_id": np.array([0, 1]),
+                                  "size": np.array([1.0, 2.0])})
+        with pytest.raises(
+                SchemaError,
+                match=r"target column 'status' of table 'orders' has "
+                      r"non-numeric dtype"):
+            normalized_from_tables(
+                entity, [("store_id", stores, "store_id", ["size"])],
+                target_column="status")
+
+    def test_boolean_target_accepted_as_01(self):
+        entity = Table("orders", {
+            "store_id": np.array([0, 1, 0]),
+            "churned": np.array([True, False, True]),
+        })
+        stores = Table("stores", {"store_id": np.array([0, 1]),
+                                  "size": np.array([1.0, 2.0])})
+        dataset = normalized_from_tables(
+            entity, [("store_id", stores, "store_id", ["size"])],
+            target_column="churned")
+        np.testing.assert_array_equal(dataset.target.ravel(), [1.0, 0.0, 1.0])
+        assert dataset.target.dtype == np.float64
+        assert dataset.target.shape == (3, 1)
+
+
+class TestNormalizedFromSchema:
+    @pytest.fixture
+    def snowflake(self):
+        """orders -> customers -> regions, plus locations under two roles."""
+        from repro.relational import Join, SchemaGraph
+
+        rng = np.random.default_rng(11)
+        n, n_cust, n_reg, n_loc = 40, 8, 3, 5
+        orders = Table("orders", {
+            "cust_id": np.concatenate([np.arange(n_cust),
+                                       rng.integers(0, n_cust, size=n - n_cust)]),
+            "ship_to": np.concatenate([np.arange(n_loc),
+                                       rng.integers(0, n_loc, size=n - n_loc)]),
+            "bill_to": np.concatenate([np.arange(n_loc),
+                                       rng.integers(0, n_loc, size=n - n_loc)]),
+            "quantity": rng.uniform(1, 9, size=n),
+            "total": rng.uniform(5, 500, size=n),
+        })
+        customers = Table("customers", {
+            "id": np.arange(n_cust),
+            "region_id": np.concatenate([np.arange(n_reg),
+                                         rng.integers(0, n_reg, size=n_cust - n_reg)]),
+            "age": rng.uniform(18, 80, size=n_cust),
+        })
+        regions = Table("regions", {
+            "id": np.arange(n_reg), "gdp": rng.uniform(1, 10, size=n_reg),
+        })
+        locations = Table("locations", {
+            "id": np.arange(n_loc), "tax": rng.uniform(0, 0.3, size=n_loc),
+        })
+        graph = SchemaGraph("orders", [
+            Join("orders.cust_id", "customers.id"),
+            Join("customers.region_id", "regions.id"),
+            Join("orders.ship_to", "locations.id", alias="ship_loc"),
+            Join("orders.bill_to", "locations.id", alias="bill_loc"),
+        ])
+        tables = {"orders": orders, "customers": customers,
+                  "regions": regions, "locations": locations}
+        return graph, tables
+
+    def _dense_reference(self, tables):
+        """Materialized snowflake join in breadth-first alias order."""
+        orders = tables["orders"]
+        customers, regions = tables["customers"], tables["regions"]
+        locations = tables["locations"]
+        cust = orders.column("cust_id")
+        region_of_cust = customers.column("region_id")[cust]
+        return np.column_stack([
+            orders.column("quantity"),
+            customers.column("age")[cust],
+            locations.column("tax")[orders.column("ship_to")],
+            locations.column("tax")[orders.column("bill_to")],
+            regions.column("gdp")[region_of_cust],
+        ])
+
+    def test_matches_materialized_reference(self, snowflake):
+        graph, tables = snowflake
+        dataset = normalized_from_schema(graph, tables, target_column="total")
+        assert isinstance(dataset.matrix, NormalizedMatrix)
+        dense = np.asarray(dataset.matrix.to_dense())
+        np.testing.assert_allclose(dense, self._dense_reference(tables), atol=1e-12)
+
+    def test_feature_names_use_aliases_in_resolve_order(self, snowflake):
+        graph, tables = snowflake
+        dataset = normalized_from_schema(graph, tables, target_column="total")
+        assert dataset.feature_names == [
+            "quantity", "customers.age", "ship_loc.tax", "bill_loc.tax",
+            "regions.gdp",
+        ]
+
+    def test_keys_and_target_excluded_from_features(self, snowflake):
+        graph, tables = snowflake
+        dataset = normalized_from_schema(graph, tables, target_column="total")
+        assert "cust_id" not in dataset.feature_names
+        assert "total" not in dataset.feature_names
+        np.testing.assert_array_equal(
+            dataset.target.ravel(), tables["orders"].column("total"))
+
+    def test_two_hop_alias_stays_factorized_by_default(self, snowflake):
+        from repro.la.chain import ChainedIndicator
+
+        graph, tables = snowflake
+        dataset = normalized_from_schema(graph, tables, collapse="never")
+        chains = [k for k in dataset.matrix.indicators
+                  if isinstance(k, ChainedIndicator)]
+        assert len(chains) == 1
+        assert chains[0].num_hops == 2
+
+    def test_collapse_always_materializes_chain(self, snowflake):
+        from repro.la.chain import ChainedIndicator
+
+        graph, tables = snowflake
+        dataset = normalized_from_schema(graph, tables, collapse="always")
+        assert not any(isinstance(k, ChainedIndicator)
+                       for k in dataset.matrix.indicators)
+        decisions = dataset.matrix.chain_decisions
+        assert len(decisions) == 1
+        assert decisions[0]["collapse"] is True
+        assert "forced" in decisions[0]["reason"]
+
+    def test_collapse_results_identical(self, snowflake):
+        graph, tables = snowflake
+        kept = normalized_from_schema(graph, tables, collapse="never")
+        collapsed = normalized_from_schema(graph, tables, collapse="always")
+        np.testing.assert_allclose(np.asarray(kept.matrix.to_dense()),
+                                   np.asarray(collapsed.matrix.to_dense()),
+                                   atol=1e-12)
+
+    def test_per_alias_feature_override(self, snowflake):
+        graph, tables = snowflake
+        dataset = normalized_from_schema(
+            graph, tables, entity_features=(), target_column="total",
+            features={"ship_loc": [], "bill_loc": [], "regions": []})
+        assert dataset.feature_names == ["customers.age"]
+
+    def test_shared_dimension_builds_one_hop_per_role(self, snowflake):
+        graph, tables = snowflake
+        dataset = normalized_from_schema(graph, tables)
+        # ship_loc and bill_loc both map into locations: two indicators with
+        # the same column count but different row labels.
+        ship, bill = dataset.matrix.indicators[1], dataset.matrix.indicators[2]
+        assert ship.shape == bill.shape == (40, 5)
+        assert (ship != bill).nnz > 0
+
+    def test_missing_table_rejected(self, snowflake):
+        graph, tables = snowflake
+        del tables["regions"]
+        with pytest.raises(SchemaError, match="'regions' missing"):
+            normalized_from_schema(graph, tables)

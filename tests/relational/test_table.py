@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SchemaError
-from repro.relational.schema import Column, ColumnType, TableSchema
+from repro.relational.schema import Column, ColumnType, ForeignKey, TableSchema
 from repro.relational.table import Table
 
 
@@ -169,3 +169,94 @@ class TestMatrixConversion:
     def test_numeric_matrix_empty_selection(self):
         table = Table("t", {"c": np.array(["a", "b"])})
         assert table.numeric_matrix().shape == (2, 0)
+
+
+class TestSchemaPreservation:
+    """Derived tables must keep declared column types and key metadata."""
+
+    @pytest.fixture
+    def declared(self) -> Table:
+        schema = TableSchema(
+            "sales",
+            [
+                Column("sale_id", ColumnType.KEY),
+                Column("store_id", ColumnType.KEY),
+                Column("channel", ColumnType.CATEGORICAL),  # numeric codes!
+                Column("amount", ColumnType.NUMERIC),
+            ],
+            primary_key="sale_id",
+            foreign_keys=[ForeignKey("store_id", "stores", "store_id")],
+        )
+        return Table("sales", {
+            "sale_id": np.arange(4),
+            "store_id": np.array([0, 1, 1, 0]),
+            "channel": np.array([0, 1, 2, 1]),  # integer-coded categories
+            "amount": np.array([9.0, 2.0, 5.0, 7.0]),
+        }, schema=schema)
+
+    def test_with_column_keeps_declared_types(self, declared):
+        extended = declared.with_column("amount", np.zeros(4))
+        # The regression: replacing a column used to re-infer the whole
+        # schema, silently flipping integer-coded categoricals to NUMERIC.
+        assert extended.schema.column("channel").ctype is ColumnType.CATEGORICAL
+        assert extended.schema.column("store_id").ctype is ColumnType.KEY
+        assert extended.schema.primary_key == "sale_id"
+        assert extended.schema.foreign_keys == declared.schema.foreign_keys
+
+    def test_with_column_new_column_appended_as_inferred(self, declared):
+        extended = declared.with_column("note", np.array(["a", "b", "c", "d"]))
+        assert extended.schema.column("note").ctype is ColumnType.CATEGORICAL
+        assert extended.schema.column("channel").ctype is ColumnType.CATEGORICAL
+        assert extended.schema.primary_key == "sale_id"
+
+    def test_project_keeps_types_and_keys(self, declared):
+        projected = declared.project(["sale_id", "channel", "store_id"])
+        assert projected.schema.column("channel").ctype is ColumnType.CATEGORICAL
+        assert projected.schema.primary_key == "sale_id"
+        assert projected.schema.foreign_keys == declared.schema.foreign_keys
+
+    def test_project_drops_keys_not_projected(self, declared):
+        projected = declared.project(["channel", "amount"])
+        assert projected.schema.primary_key is None
+        assert projected.schema.foreign_keys == []
+
+
+class TestVectorizedKeyLookup:
+    def test_searchsorted_path_matches_dict_path(self):
+        rng = np.random.default_rng(7)
+        keys = rng.permutation(1000)
+        table = Table("t", {"k": keys})
+        queries = rng.choice(keys, size=500)
+        fast = table.positions_for_keys("k", queries)
+        slow = np.array([table.key_position_index("k")[q] for q in queries])
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_float_queries_against_int_keys(self):
+        table = Table("t", {"k": np.array([10, 20, 30])})
+        positions = table.positions_for_keys("k", np.array([30.0, 10.0]))
+        np.testing.assert_array_equal(positions, [2, 0])
+
+    def test_unknown_key_error_names_value_and_carries_key(self):
+        table = Table("t", {"k": np.array([10, 20, 30])})
+        with pytest.raises(SchemaError, match="unknown key 99") as excinfo:
+            table.positions_for_keys("k", [10, 99])
+        assert excinfo.value.key == 99
+
+    def test_object_dtype_unknown_key_carries_key(self):
+        table = Table("t", {"k": np.array(["a", "b"])})
+        with pytest.raises(SchemaError, match="unknown key 'z'") as excinfo:
+            table.positions_for_keys("k", ["a", "z"])
+        assert excinfo.value.key == "z"
+
+    def test_nan_query_is_unknown_not_matched(self):
+        # NaN compares unequal to everything; the searchsorted fast path must
+        # report it as unknown instead of silently matching a neighbour.
+        table = Table("t", {"k": np.array([1.0, 2.0, 3.0])})
+        with pytest.raises(SchemaError, match="unknown key"):
+            table.positions_for_keys("k", np.array([2.0, np.nan]))
+
+    def test_empty_query_batch(self):
+        table = Table("t", {"k": np.array([1, 2, 3])})
+        positions = table.positions_for_keys("k", np.array([], dtype=np.int64))
+        assert positions.shape == (0,)
+        assert positions.dtype == np.int64
