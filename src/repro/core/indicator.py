@@ -18,7 +18,9 @@ operator).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 import scipy.sparse as sp
@@ -131,16 +133,20 @@ def validate_mn_indicator(matrix: MatrixLike, require_full_columns: bool = True)
     return csr
 
 
-def indicator_codes(matrix: MatrixLike) -> np.ndarray:
-    """Recover the per-row key codes of an indicator matrix.
+# Memoized codes per indicator object: the scorer, the zone-map index and the
+# fused kernels all work in code space, so each indicator's codes are computed
+# once and shared.  Keyed by id() with a weakref liveness check (id reuse after
+# garbage collection must not serve stale codes); entries evict themselves when
+# the indicator dies.  Cached arrays are read-only so sharing is safe.
+_CODES_CACHE: Dict[int, Tuple[weakref.ref, np.ndarray]] = {}
 
-    For a valid PK-FK or M:N indicator (exactly one non-zero per row) the
-    code of row ``i`` is the column holding that non-zero -- i.e. the
-    attribute-table row the join routes row ``i`` to.  This is the inverse of
-    :func:`repro.la.ops.indicator_from_labels` and what the serving subsystem
-    gathers precomputed partial scores with.  Chained indicators compose hop
-    codes (``c = c2[c1]``) without materializing the product.
-    """
+
+def reset_codes_cache() -> None:
+    """Drop all memoized indicator codes (test isolation hook)."""
+    _CODES_CACHE.clear()
+
+
+def _compute_codes(matrix: MatrixLike) -> np.ndarray:
     if isinstance(matrix, ChainedIndicator) and not matrix.transposed:
         codes = indicator_codes(matrix.hops[0])
         for hop in matrix.hops[1:]:
@@ -154,6 +160,36 @@ def indicator_codes(matrix: MatrixLike) -> np.ndarray:
             f"indicator: row {bad} has {int(row_counts[bad])} non-zeros, expected exactly 1"
         )
     return csr.indices.astype(np.int64)
+
+
+def indicator_codes(matrix: MatrixLike) -> np.ndarray:
+    """Recover the per-row key codes of an indicator matrix.
+
+    For a valid PK-FK or M:N indicator (exactly one non-zero per row) the
+    code of row ``i`` is the column holding that non-zero -- i.e. the
+    attribute-table row the join routes row ``i`` to.  This is the inverse of
+    :func:`repro.la.ops.indicator_from_labels` and what the serving subsystem
+    and the fused kernel layer gather with.  Chained indicators compose hop
+    codes (``c = c2[c1]``) without materializing the product.
+
+    Results are memoized per indicator object and returned read-only; copy
+    before mutating.
+    """
+    key = id(matrix)
+    entry = _CODES_CACHE.get(key)
+    if entry is not None:
+        ref, codes = entry
+        if ref() is matrix:
+            return codes
+        del _CODES_CACHE[key]
+    codes = np.ascontiguousarray(_compute_codes(matrix), dtype=np.int64)
+    codes.setflags(write=False)
+    try:
+        ref = weakref.ref(matrix, lambda _r, _key=key: _CODES_CACHE.pop(_key, None))
+    except TypeError:
+        return codes
+    _CODES_CACHE[key] = (ref, codes)
+    return codes
 
 
 def indicator_stats(matrix: MatrixLike) -> IndicatorStats:

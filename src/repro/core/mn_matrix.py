@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.exceptions import NotSupportedError, ShapeError
+from repro.la import kernels
 from repro.la.types import (
     MatrixLike,
     ensure_2d,
@@ -213,7 +214,8 @@ class MNNormalizedMatrix:
         if self.transposed:
             raise NotSupportedError("take_rows is only defined for untransposed matrices")
         indices = normalize_row_indices(row_indices, self.logical_rows)
-        new_indicators = [i[indices, :] for i in self.indicators]
+        new_indicators = [kernels.take_indicator_rows(i, indices)
+                          for i in self.indicators]
         return MNNormalizedMatrix(
             new_indicators, self.attributes, transposed=False,
             validate=False, crossprod_method=self.crossprod_method,

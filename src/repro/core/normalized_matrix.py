@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.exceptions import NotSupportedError, RewriteError, ShapeError
+from repro.la import kernels
 from repro.la.types import (
     MatrixLike,
     ensure_2d,
@@ -248,7 +249,8 @@ class NormalizedMatrix:
             raise NotSupportedError("take_rows is only defined for untransposed matrices")
         indices = normalize_row_indices(row_indices, self.logical_rows)
         new_entity = self.entity[indices, :] if self.entity is not None else None
-        new_indicators = [k[indices, :] for k in self.indicators]
+        new_indicators = [kernels.take_indicator_rows(k, indices)
+                          for k in self.indicators]
         return NormalizedMatrix(
             new_entity, new_indicators, self.attributes, transposed=False,
             validate=False, crossprod_method=self.crossprod_method,

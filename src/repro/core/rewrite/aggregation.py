@@ -25,8 +25,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.la.ops import colsums, matmul, rowsums, total_sum
-from repro.la.types import MatrixLike, to_dense
+from repro.la import kernels
+from repro.la.ops import colsums, rowsums, total_sum
+from repro.la.types import MatrixLike
 
 
 # ---------------------------------------------------------------------------
@@ -41,7 +42,7 @@ def rowsums_star(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
     if entity is not None and entity.shape[1] > 0:
         acc = acc + rowsums(entity)
     for indicator, attribute in zip(indicators, attributes):
-        acc = acc + to_dense(matmul(indicator, rowsums(attribute)))
+        acc = acc + kernels.gather_rows(indicator, attribute)
     return acc
 
 
@@ -52,7 +53,7 @@ def colsums_star(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
     if entity is not None and entity.shape[1] > 0:
         blocks.append(colsums(entity))
     for indicator, attribute in zip(indicators, attributes):
-        blocks.append(to_dense(matmul(colsums(indicator), attribute)))
+        blocks.append(kernels.scatter_colsums(indicator, attribute))
     if not blocks:
         return np.zeros((1, 0))
     return np.hstack(blocks)
@@ -65,8 +66,7 @@ def sum_star(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
     if entity is not None and entity.shape[1] > 0:
         total += total_sum(entity)
     for indicator, attribute in zip(indicators, attributes):
-        partial = matmul(colsums(indicator), rowsums(attribute))
-        total += float(to_dense(partial).ravel()[0])
+        total += kernels.scatter_total(indicator, attribute)
     return total
 
 
@@ -79,13 +79,13 @@ def rowsums_mn(indicators: Sequence[MatrixLike], attributes: Sequence[MatrixLike
     n_rows = indicators[0].shape[0]
     acc = np.zeros((n_rows, 1))
     for indicator, attribute in zip(indicators, attributes):
-        acc = acc + to_dense(matmul(indicator, rowsums(attribute)))
+        acc = acc + kernels.gather_rows(indicator, attribute)
     return acc
 
 
 def colsums_mn(indicators: Sequence[MatrixLike], attributes: Sequence[MatrixLike]) -> np.ndarray:
     """``colSums(T)`` for ``T = [I1 R1, ..., Iq Rq]``."""
-    blocks = [to_dense(matmul(colsums(indicator), attribute))
+    blocks = [kernels.scatter_colsums(indicator, attribute)
               for indicator, attribute in zip(indicators, attributes)]
     if not blocks:
         return np.zeros((1, 0))
@@ -96,6 +96,5 @@ def sum_mn(indicators: Sequence[MatrixLike], attributes: Sequence[MatrixLike]) -
     """``sum(T)`` for ``T = [I1 R1, ..., Iq Rq]``."""
     total = 0.0
     for indicator, attribute in zip(indicators, attributes):
-        partial = matmul(colsums(indicator), rowsums(attribute))
-        total += float(to_dense(partial).ravel()[0])
+        total += kernels.scatter_total(indicator, attribute)
     return total

@@ -19,7 +19,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.la.ops import colsums, crossprod, diag_scale_rows, matmul, transpose
+from repro.la import kernels
+from repro.la.ops import crossprod, matmul, transpose
 from repro.la.types import MatrixLike, to_dense
 
 
@@ -37,7 +38,8 @@ def crossprod_star_naive(entity: Optional[MatrixLike], indicators: Sequence[Matr
     entity_width = entity.shape[1] if entity is not None else 0
     widths = [r.shape[1] for r in attributes]
     total = entity_width + sum(widths)
-    out = np.zeros((total, total))
+    dtype = kernels.result_dtype(entity, *attributes)
+    out = np.zeros((total, total), dtype=dtype)
     offsets = _offsets(entity_width, widths)
 
     if entity_width:
@@ -55,8 +57,8 @@ def crossprod_star_naive(entity: Optional[MatrixLike], indicators: Sequence[Matr
         )
         for j in range(i + 1, len(attributes)):
             oj, wj = offsets[j], widths[j]
-            crossing = matmul(transpose(indicator), indicators[j])
-            block = to_dense(matmul(transpose(attribute), matmul(crossing, attributes[j])))
+            block = kernels.cross_block(indicator, indicators[j],
+                                        attribute, attributes[j], dtype)
             out[oi:oi + wi, oj:oj + wj] = block
             out[oj:oj + wj, oi:oi + wi] = block.T
     return out
@@ -74,7 +76,8 @@ def crossprod_star_efficient(entity: Optional[MatrixLike], indicators: Sequence[
     entity_width = entity.shape[1] if entity is not None else 0
     widths = [r.shape[1] for r in attributes]
     total = entity_width + sum(widths)
-    out = np.zeros((total, total))
+    dtype = kernels.result_dtype(entity, *attributes)
+    out = np.zeros((total, total), dtype=dtype)
     offsets = _offsets(entity_width, widths)
 
     if entity_width:
@@ -83,16 +86,15 @@ def crossprod_star_efficient(entity: Optional[MatrixLike], indicators: Sequence[
         oi, wi = offsets[i], widths[i]
         if entity_width:
             # (S^T K_i) R_i: small intermediate of size dS x nRi.
-            partial = to_dense(matmul(matmul(transpose(entity), indicator), attribute))
+            partial = kernels.entity_cross_block(entity, indicator, attribute, dtype)
             out[:entity_width, oi:oi + wi] = partial
             out[oi:oi + wi, :entity_width] = partial.T
-        counts = colsums(indicator)
-        scaled = diag_scale_rows(np.sqrt(np.asarray(counts).ravel()), attribute)
-        out[oi:oi + wi, oi:oi + wi] = to_dense(crossprod(scaled))
+        out[oi:oi + wi, oi:oi + wi] = kernels.scatter_crossprod(indicator,
+                                                                attribute, dtype)
         for j in range(i + 1, len(attributes)):
             oj, wj = offsets[j], widths[j]
-            crossing = matmul(transpose(indicator), indicators[j])
-            block = to_dense(matmul(transpose(attribute), matmul(crossing, attributes[j])))
+            block = kernels.cross_block(indicator, indicators[j],
+                                        attribute, attributes[j], dtype)
             out[oi:oi + wi, oj:oj + wj] = block
             out[oj:oj + wj, oi:oi + wi] = block.T
     return out
@@ -107,12 +109,11 @@ def gram_transposed_star(entity: Optional[MatrixLike], indicators: Sequence[Matr
         crossprod(T^T) -> crossprod(S^T) + sum_i K_i crossprod(R_i^T) K_i^T
     """
     n_rows = indicators[0].shape[0] if indicators else entity.shape[0]
-    out = np.zeros((n_rows, n_rows))
+    out = np.zeros((n_rows, n_rows), dtype=kernels.result_dtype(entity, *attributes))
     if entity is not None and entity.shape[1] > 0:
-        out = out + to_dense(matmul(entity, transpose(entity)))
+        out += to_dense(matmul(entity, transpose(entity)))
     for indicator, attribute in zip(indicators, attributes):
-        inner = matmul(attribute, transpose(attribute))
-        out = out + to_dense(matmul(matmul(indicator, inner), transpose(indicator)))
+        out = kernels.gather_gram(out, indicator, attribute)
     return out
 
 
@@ -135,7 +136,8 @@ def crossprod_mn_naive(indicators: Sequence[MatrixLike],
     """Algorithm 9: naive factorized cross-product for M:N normalized matrices."""
     widths = [r.shape[1] for r in attributes]
     total = sum(widths)
-    out = np.zeros((total, total))
+    dtype = kernels.result_dtype(*attributes)
+    out = np.zeros((total, total), dtype=dtype)
     offsets = _offsets(0, widths)
     for i, (indicator, attribute) in enumerate(zip(indicators, attributes)):
         oi, wi = offsets[i], widths[i]
@@ -145,8 +147,8 @@ def crossprod_mn_naive(indicators: Sequence[MatrixLike],
         )
         for j in range(i + 1, len(attributes)):
             oj, wj = offsets[j], widths[j]
-            crossing = matmul(transpose(indicator), indicators[j])
-            block = to_dense(matmul(transpose(attribute), matmul(crossing, attributes[j])))
+            block = kernels.cross_block(indicator, indicators[j],
+                                        attribute, attributes[j], dtype)
             out[oi:oi + wi, oj:oj + wj] = block
             out[oj:oj + wj, oi:oi + wi] = block.T
     return out
@@ -157,17 +159,17 @@ def crossprod_mn_efficient(indicators: Sequence[MatrixLike],
     """Algorithm 10: efficient factorized cross-product for M:N normalized matrices."""
     widths = [r.shape[1] for r in attributes]
     total = sum(widths)
-    out = np.zeros((total, total))
+    dtype = kernels.result_dtype(*attributes)
+    out = np.zeros((total, total), dtype=dtype)
     offsets = _offsets(0, widths)
     for i, (indicator, attribute) in enumerate(zip(indicators, attributes)):
         oi, wi = offsets[i], widths[i]
-        counts = colsums(indicator)
-        scaled = diag_scale_rows(np.sqrt(np.asarray(counts).ravel()), attribute)
-        out[oi:oi + wi, oi:oi + wi] = to_dense(crossprod(scaled))
+        out[oi:oi + wi, oi:oi + wi] = kernels.scatter_crossprod(indicator,
+                                                                attribute, dtype)
         for j in range(i + 1, len(attributes)):
             oj, wj = offsets[j], widths[j]
-            crossing = matmul(transpose(indicator), indicators[j])
-            block = to_dense(matmul(transpose(attribute), matmul(crossing, attributes[j])))
+            block = kernels.cross_block(indicator, indicators[j],
+                                        attribute, attributes[j], dtype)
             out[oi:oi + wi, oj:oj + wj] = block
             out[oj:oj + wj, oi:oi + wi] = block.T
     return out
@@ -177,8 +179,7 @@ def gram_transposed_mn(indicators: Sequence[MatrixLike],
                        attributes: Sequence[MatrixLike]) -> np.ndarray:
     """``crossprod(T^T)`` for M:N: ``sum_i I_i crossprod(R_i^T) I_i^T``."""
     n_rows = indicators[0].shape[0]
-    out = np.zeros((n_rows, n_rows))
+    out = np.zeros((n_rows, n_rows), dtype=kernels.result_dtype(*attributes))
     for indicator, attribute in zip(indicators, attributes):
-        inner = matmul(attribute, transpose(attribute))
-        out = out + to_dense(matmul(matmul(indicator, inner), transpose(indicator)))
+        out = kernels.gather_gram(out, indicator, attribute)
     return out

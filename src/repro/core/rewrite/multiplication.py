@@ -31,6 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exceptions import RewriteError, ShapeError
+from repro.la import kernels
 from repro.la.ops import hstack, matmul, transpose
 from repro.la.types import MatrixLike, ensure_2d, to_dense
 
@@ -62,15 +63,18 @@ def lmm_star(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
     if x.shape[0] != total_width:
         raise ShapeError(f"LMM: X has {x.shape[0]} rows but T has {total_width} columns")
     n_rows = indicators[0].shape[0] if indicators else entity.shape[0]
-    result = np.zeros((n_rows, x.shape[1]))
+    # The accumulator carries the operand result dtype (indicators excluded:
+    # their stored float64 ones are structural and must not upcast float32).
+    result = np.zeros((n_rows, x.shape[1]),
+                      dtype=kernels.result_dtype(entity, *attributes, x))
     offset = 0
     if entity_width:
-        result = result + to_dense(matmul(entity, x[0:entity_width, :]))
+        result += to_dense(matmul(entity, x[0:entity_width, :]))
         offset = entity_width
     for indicator, attribute, width in zip(indicators, attributes, attribute_widths):
         block = x[offset:offset + width, :]
         # K (R X): compute the small product first, then scatter through K.
-        result = result + to_dense(matmul(indicator, matmul(attribute, block)))
+        result = kernels.gather_add(result, indicator, attribute, block)
         offset += width
     return result
 
@@ -106,13 +110,14 @@ def rmm_star(entity: Optional[MatrixLike], indicators: Sequence[MatrixLike],
     n_rows = indicators[0].shape[0] if indicators else entity.shape[0]
     if x.shape[1] != n_rows:
         raise ShapeError(f"RMM: X has {x.shape[1]} columns but T has {n_rows} rows")
+    dtype = kernels.result_dtype(entity, *attributes, x)
     blocks: List[MatrixLike] = []
     if entity is not None and entity.shape[1] > 0:
-        blocks.append(to_dense(matmul(x, entity)))
+        blocks.append(np.asarray(to_dense(matmul(x, entity)), dtype=dtype))
     for indicator, attribute in zip(indicators, attributes):
         # (X K) R: the intermediate X K is only m x nR.
-        blocks.append(to_dense(matmul(matmul(x, indicator), attribute)))
-    return np.hstack(blocks) if blocks else np.zeros((x.shape[0], 0))
+        blocks.append(kernels.scatter_right(x, indicator, attribute, dtype))
+    return np.hstack(blocks) if blocks else np.zeros((x.shape[0], 0), dtype=dtype)
 
 
 # ---------------------------------------------------------------------------
@@ -128,11 +133,12 @@ def lmm_mn(indicators: Sequence[MatrixLike], attributes: Sequence[MatrixLike],
     if x.shape[0] != total_width:
         raise ShapeError(f"LMM (M:N): X has {x.shape[0]} rows but T has {total_width} columns")
     n_rows = indicators[0].shape[0]
-    result = np.zeros((n_rows, x.shape[1]))
+    result = np.zeros((n_rows, x.shape[1]),
+                      dtype=kernels.result_dtype(*attributes, x))
     offset = 0
     for indicator, attribute, width in zip(indicators, attributes, widths):
         block = x[offset:offset + width, :]
-        result = result + to_dense(matmul(indicator, matmul(attribute, block)))
+        result = kernels.gather_add(result, indicator, attribute, block)
         offset += width
     return result
 
@@ -144,9 +150,10 @@ def rmm_mn(indicators: Sequence[MatrixLike], attributes: Sequence[MatrixLike],
     n_rows = indicators[0].shape[0]
     if x.shape[1] != n_rows:
         raise ShapeError(f"RMM (M:N): X has {x.shape[1]} columns but T has {n_rows} rows")
-    blocks = [to_dense(matmul(matmul(x, indicator), attribute))
+    dtype = kernels.result_dtype(*attributes, x)
+    blocks = [kernels.scatter_right(x, indicator, attribute, dtype)
               for indicator, attribute in zip(indicators, attributes)]
-    return np.hstack(blocks) if blocks else np.zeros((x.shape[0], 0))
+    return np.hstack(blocks) if blocks else np.zeros((x.shape[0], 0), dtype=dtype)
 
 
 # ---------------------------------------------------------------------------

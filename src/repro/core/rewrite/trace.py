@@ -33,6 +33,7 @@ from repro.core.rewrite import aggregation
 from repro.core.rewrite import crossprod as crossprod_rules
 from repro.core.rewrite import delta as delta_rules
 from repro.core.rewrite import inversion, multiplication, scalar_ops
+from repro.la import kernels as kernel_layer
 
 #: Primitive names whose calls constitute the rewritten operator tree.
 PRIMITIVES = frozenset({
@@ -40,9 +41,13 @@ PRIMITIVES = frozenset({
     "diag_scale_rows", "scalar_op", "elementwise", "ginv", "hstack", "vstack",
 })
 
-#: The rewrite modules whose primitive calls are intercepted.
+#: The rewrite modules whose primitive calls are intercepted.  The kernel
+#: layer is one of them: patching its primitives makes its dispatcher route
+#: every kernel to the "reference" implementations, whose primitive chains
+#: are exactly the pre-kernel rewrite algebra -- so the recorded traces are
+#: independent of which fused set is active.
 REWRITE_MODULES = (aggregation, crossprod_rules, delta_rules, inversion,
-                   multiplication, scalar_ops)
+                   multiplication, scalar_ops, kernel_layer)
 
 
 class RewriteTrace:

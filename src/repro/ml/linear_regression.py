@@ -23,7 +23,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.la import generic
+from repro.la import generic, kernels
 from repro.la.generic import to_dense_result
 from repro.ml.base import (
     IterativeEstimator,
@@ -130,9 +130,7 @@ class LinearRegressionGD(IterativeEstimator):
 
     def _minibatch_step(self, data, y: np.ndarray, w: np.ndarray):
         """One mini-batch gradient step; returns the new weights and the batch SSE."""
-        residual = to_dense_result(data @ w) - y
-        gradient = to_dense_result(data.T @ residual)
-        return w - self.step_size * gradient, float(np.sum(residual ** 2))
+        return kernels.sgd_step(data, y, w, self.step_size)
 
     def _fit_sgd(self, data, y: np.ndarray, w: np.ndarray) -> "LinearRegressionGD":
         """Mini-batch SGD: ``max_iter`` epochs over factorized row batches.

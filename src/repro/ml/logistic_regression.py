@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.la import kernels
 from repro.la.generic import to_dense_result
 from repro.ml.base import (
     IterativeEstimator,
@@ -127,13 +128,7 @@ class LogisticRegressionGD(IterativeEstimator):
 
     def _minibatch_step(self, data, y: np.ndarray, w: np.ndarray):
         """One mini-batch ascent step; returns the new weights and the batch scores."""
-        scores = to_dense_result(data @ w)
-        if self.update == "paper":
-            p = y / (1.0 + np.exp(clip_scores(scores)))
-        else:
-            p = y / (1.0 + np.exp(clip_scores(y * scores)))
-        w = w + self.step_size * to_dense_result(data.T @ p)
-        return w, scores
+        return kernels.logistic_sgd_step(data, y, w, self.step_size, self.update)
 
     def _fit_sgd(self, data, y: np.ndarray, w: np.ndarray) -> "LogisticRegressionGD":
         """Mini-batch SGD over factorized row batches; see

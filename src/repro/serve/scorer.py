@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.indicator import indicator_codes
 from repro.core.mn_matrix import MNNormalizedMatrix
+from repro.la import kernels
 from repro.core.normalized_matrix import NormalizedMatrix
 from repro.core.segments import schema_fingerprint
 from repro.exceptions import SchemaMismatchError, ServingError
@@ -187,14 +188,13 @@ class FactorizedScorer:
         indices = normalize_row_indices(row_indices, self._n_rows)
         if snapshot is None:
             snapshot = self._snapshots.snapshot
-        scores = self._entity_contribution(
+        base = self._entity_contribution(
             self._entity[indices, :] if self._entity is not None else None,
             len(indices),
         )
-        for position, segment in enumerate(self._table_segments):
-            codes = self._codes[segment.table_index][indices]
-            scores = scores + snapshot.partials[position][codes, :]
-        return scores
+        code_rows = [self._codes[segment.table_index][indices]
+                     for segment in self._table_segments]
+        return kernels.gather_dot(base, snapshot.partials, code_rows)
 
     def score(self, features=None, keys=None, snapshot=None) -> np.ndarray:
         """Raw scores for ad-hoc requests: entity features + join keys.
@@ -217,10 +217,12 @@ class FactorizedScorer:
             snapshot = self._snapshots.snapshot
         features, keys = self._validate_request(features, keys, snapshot)
         n = keys.shape[0] if keys is not None else features.shape[0]
-        scores = self._entity_contribution(features, n)
-        for position in range(len(self._table_segments)):
-            scores = scores + snapshot.partials[position][keys[:, position], :]
-        return scores
+        base = self._entity_contribution(features, n)
+        if keys is None:
+            return base
+        code_rows = [keys[:, position]
+                     for position in range(len(self._table_segments))]
+        return kernels.gather_dot(base, snapshot.partials, code_rows)
 
     def predict_rows(self, row_indices) -> np.ndarray:
         """Model predictions for entity rows (labels / clusters / loadings)."""

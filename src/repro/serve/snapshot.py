@@ -30,6 +30,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.la import kernels
 from repro.la.types import MatrixLike, to_dense
 
 
@@ -38,13 +39,10 @@ def compute_partial(attribute: MatrixLike, weight_slice: np.ndarray) -> np.ndarr
 
     The result is dense (partials are gathered per request, and ``m`` is
     small) and marked read-only, since it is shared by every snapshot that
-    carries it and by every in-flight request.
+    carries it and by every in-flight request.  Routed through the
+    :mod:`repro.la.kernels` registry so the compiled set applies when active.
     """
-    partial = np.asarray(to_dense(attribute @ weight_slice), dtype=np.float64)
-    if partial.ndim == 1:
-        partial = partial.reshape(-1, 1)
-    partial.setflags(write=False)
-    return partial
+    return kernels.partial_scores(attribute, weight_slice)
 
 
 def patch_partial(partial: np.ndarray, delta, weight_slice: np.ndarray) -> np.ndarray:

@@ -359,10 +359,14 @@ class TestSurfaceIntegration:
 
     def test_backend_capabilities_registry(self):
         caps = backend_capabilities()
-        assert set(caps) == {"dense", "sparse", "chunked", "sharded"}
+        assert set(caps) == {"dense", "sparse", "fused", "chunked", "sharded"}
         assert caps["sharded"]["parallel"] is True
         assert caps["chunked"]["out_of_core"] is True
         assert caps["dense"]["parallel"] is False
+        # The fused backend advertises whether the compiled set can run and
+        # which kernel set best_available() resolves to.
+        assert caps["fused"]["kernel_set"] in ("numba", "numpy")
+        assert caps["fused"]["compiled"] == (caps["fused"]["kernel_set"] == "numba")
 
     def test_backend_partitions_for(self):
         from repro.la.backend import ChunkedBackend, DenseBackend, ShardedBackend
