@@ -12,6 +12,10 @@ See ``README.md`` for a quickstart, ``docs/architecture.md`` for the layer
 map, and ``docs/paper_map.md`` for the paper-section to code inventory.
 """
 
+# obs first: it depends only on stdlib+numpy and every other layer's
+# instrumentation imports it, so loading it up front keeps the import
+# graph acyclic by construction.
+from repro import obs
 from repro.core import (
     NormalizedMatrix,
     MNNormalizedMatrix,
@@ -41,9 +45,10 @@ from repro.relational import Table, read_csv, read_csv_chunks, stream_normalized
 from repro.la import ChunkedMatrix
 from repro.serve import FactorizedScorer, ModelRegistry, ScoringService
 
-__version__ = "1.4.0"
+__version__ = "1.9.0"
 
 __all__ = [
+    "obs",
     "NormalizedMatrix",
     "MNNormalizedMatrix",
     "materialize",

@@ -9,17 +9,38 @@ iterations.  :class:`FactorizedCache` stores the results of such
 the lazy evaluator (:mod:`repro.core.lazy.evaluator`) computes each of them
 exactly once per distinct expression.
 
-The cache is deliberately small and observable: hit/miss/eviction counters are
-first-class so that tests can assert memoization semantics and benchmarks
-(``benchmarks/bench_lazy_memoization.py``) can report reuse rates alongside
-runtimes.
+The cache is deliberately observable: the per-instance hit/miss/eviction/
+patched/invalidated counters are backed by :mod:`repro.obs` counter series
+(recorded unconditionally, so the long-standing ``cache.hits`` accessors
+keep working with observability off), and a gated process-global
+``repro_lazy_cache_events_total{event=...}`` aggregate feeds the exporters
+when observability is on.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro import obs
+
+#: Gated global aggregate across every cache instance in the process.
+_CACHE_EVENTS = obs.REGISTRY.counter(
+    "repro_lazy_cache_events_total",
+    "FactorizedCache events across all instances",
+    labels=("event",),
+)
+_PATCH_SECONDS = obs.REGISTRY.histogram(
+    "repro_delta_cache_patch_seconds",
+    "Latency of in-place rank-|delta| patches to cached terms",
+)
+_PATCH_DECISIONS = obs.REGISTRY.counter(
+    "repro_delta_patch_decisions_total",
+    "Patch-vs-invalidate decisions taken by the delta path",
+    labels=("site", "decision"),
+)
 
 
 @dataclass(frozen=True)
@@ -69,11 +90,35 @@ class FactorizedCache:
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         #: key -> CachePatchRule for entries the delta layer can patch in place.
         self._patch_rules: Dict[Hashable, Any] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.patched = 0
-        self.invalidated = 0
+        # Per-instance series (always=True: they are the source of truth for
+        # the public accessors, which predate the obs layer).
+        self._hits = obs.Counter(always=True)
+        self._misses = obs.Counter(always=True)
+        self._evictions = obs.Counter(always=True)
+        self._patched = obs.Counter(always=True)
+        self._invalidated = obs.Counter(always=True)
+
+    # -- back-compat counter views --------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._misses.value)
+
+    @property
+    def evictions(self) -> int:
+        return int(self._evictions.value)
+
+    @property
+    def patched(self) -> int:
+        return int(self._patched.value)
+
+    @property
+    def invalidated(self) -> int:
+        return int(self._invalidated.value)
 
     # -- core protocol -------------------------------------------------------
 
@@ -82,10 +127,12 @@ class FactorizedCache:
         try:
             value = self._entries[key]
         except KeyError:
-            self.misses += 1
+            self._misses.inc()
+            _CACHE_EVENTS.labels(event="miss").inc()
             return False, None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self._hits.inc()
+        _CACHE_EVENTS.labels(event="hit").inc()
         return True, value
 
     def store(self, key: Hashable, value: Any, patch_rule: Any = None) -> None:
@@ -106,7 +153,8 @@ class FactorizedCache:
         while len(self._entries) > self.maxsize:
             evicted, _ = self._entries.popitem(last=False)
             self._patch_rules.pop(evicted, None)
-            self.evictions += 1
+            self._evictions.inc()
+            _CACHE_EVENTS.labels(event="evict").inc()
 
     def __contains__(self, key: Hashable) -> bool:
         return key in self._entries
@@ -137,11 +185,11 @@ class FactorizedCache:
 
     def reset_counters(self) -> None:
         """Zero the hit/miss/eviction counters without touching entries."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.patched = 0
-        self.invalidated = 0
+        self._hits.reset()
+        self._misses.reset()
+        self._evictions.reset()
+        self._patched.reset()
+        self._invalidated.reset()
 
     # -- incremental maintenance ----------------------------------------------
 
@@ -179,27 +227,40 @@ class FactorizedCache:
         token = getattr(matrix, "_lazy_token", None)
         attribute = matrix.attributes[table_index]
         fan_in = matrix.logical_rows / max(attribute.shape[0], 1)
-        for key in list(self._entries):
-            if token is None or not _key_involves(key, token):
-                continue
-            rule = self._patch_rules.get(key)
-            patchable = (
-                rule is not None
-                and getattr(rule, "token", None) == token
-                and policy.should_patch(delta, attribute.shape[0],
-                                        width=attribute.shape[1], fan_in=fan_in)
-            )
-            if patchable:
-                patched = patch_cached_value(rule, self._entries[key], matrix,
-                                             table_index, delta)
-                if isinstance(patched, np.ndarray):
-                    patched.setflags(write=False)
-                self._entries[key] = patched
-                self.patched += 1
-            else:
-                del self._entries[key]
-                self._patch_rules.pop(key, None)
-                self.invalidated += 1
+        record = obs.enabled()
+        with obs.span("cache.apply_delta", table_index=table_index):
+            for key in list(self._entries):
+                if token is None or not _key_involves(key, token):
+                    continue
+                rule = self._patch_rules.get(key)
+                patchable = (
+                    rule is not None
+                    and getattr(rule, "token", None) == token
+                    and policy.should_patch(delta, attribute.shape[0],
+                                            width=attribute.shape[1],
+                                            fan_in=fan_in)
+                )
+                if patchable:
+                    started = time.perf_counter() if record else 0.0
+                    patched = patch_cached_value(rule, self._entries[key],
+                                                 matrix, table_index, delta)
+                    if isinstance(patched, np.ndarray):
+                        patched.setflags(write=False)
+                    self._entries[key] = patched
+                    self._patched.inc()
+                    _CACHE_EVENTS.labels(event="patched").inc()
+                    if record:
+                        _PATCH_SECONDS.observe(time.perf_counter() - started)
+                        _PATCH_DECISIONS.labels(
+                            site="lazy-cache", decision="patch").inc()
+                else:
+                    del self._entries[key]
+                    self._patch_rules.pop(key, None)
+                    self._invalidated.inc()
+                    _CACHE_EVENTS.labels(event="invalidated").inc()
+                    if record:
+                        _PATCH_DECISIONS.labels(
+                            site="lazy-cache", decision="invalidate").inc()
         return self.stats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

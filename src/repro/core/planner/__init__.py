@@ -27,6 +27,12 @@ from repro.core.planner.memory import (
     materialized_nbytes,
     streamed_batch_count,
 )
+from repro.core.planner.feedback import (
+    PlanOutcome,
+    clear_outcomes,
+    recent_outcomes,
+    record_outcome,
+)
 from repro.core.planner.plan import Plan, ScoredCandidate
 from repro.core.planner.planner import Planner, describe_data
 from repro.core.planner.workload import OperatorUse, WorkloadDescriptor
@@ -38,9 +44,13 @@ __all__ = [
     "DeltaPolicy",
     "OperatorUse",
     "Plan",
+    "PlanOutcome",
     "Planner",
     "ScoredCandidate",
     "WorkloadDescriptor",
+    "clear_outcomes",
+    "recent_outcomes",
+    "record_outcome",
     "batch_rows_for_budget",
     "cache_path",
     "describe_data",

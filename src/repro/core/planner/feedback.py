@@ -1,0 +1,119 @@
+"""Plan feedback: measured runtime next to predicted cost.
+
+The planner predicts wall-clock seconds per candidate; this module closes
+the loop by recording what the chosen plan *actually* took when the fit
+ran (:class:`PlanOutcome`), so the cost model can be judged empirically —
+the check PR 3 deferred.  Outcomes land in three places:
+
+- attached to the executed :class:`~repro.core.planner.plan.Plan`
+  (``plan.outcome``), where ``Plan.explain()`` renders the
+  predicted-vs-measured line;
+- a bounded process-global window (:func:`recent_outcomes`) for offline
+  residual analysis;
+- the metrics registry (``repro_plan_outcomes_total`` and the
+  ``repro_plan_residual_ratio`` histogram) when observability is on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro import obs
+
+__all__ = ["PlanOutcome", "clear_outcomes", "recent_outcomes", "record_outcome"]
+
+_OUTCOMES_TOTAL = obs.REGISTRY.counter(
+    "repro_plan_outcomes_total",
+    "Executed plans with a measured runtime recorded",
+    labels=("workload", "choice"),
+)
+_RESIDUAL_RATIO = obs.REGISTRY.histogram(
+    "repro_plan_residual_ratio",
+    "measured_seconds / predicted_seconds for executed plans",
+    buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0, 4.0, 10.0),
+)
+_MEASURED_SECONDS = obs.REGISTRY.histogram(
+    "repro_plan_measured_seconds",
+    "Measured wall-clock seconds of executed plans",
+    labels=("workload",),
+)
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """Measured execution of a plan, alongside its prediction."""
+
+    workload: str
+    choice: str                  # chosen candidate label
+    predicted_seconds: float
+    measured_seconds: float
+
+    @property
+    def residual_seconds(self) -> float:
+        """measured - predicted (positive: the model was optimistic)."""
+        return self.measured_seconds - self.predicted_seconds
+
+    @property
+    def ratio(self) -> float:
+        """measured / predicted; inf when the prediction was zero."""
+        if self.predicted_seconds <= 0.0:
+            return float("inf")
+        return self.measured_seconds / self.predicted_seconds
+
+    def to_json(self) -> dict:
+        return {
+            "workload": self.workload,
+            "choice": self.choice,
+            "predicted_seconds": self.predicted_seconds,
+            "measured_seconds": self.measured_seconds,
+            "residual_seconds": self.residual_seconds,
+            "ratio": self.ratio,
+        }
+
+
+_WINDOW = 512
+_recent: deque = deque(maxlen=_WINDOW)
+_recent_lock = threading.Lock()
+
+
+def record_outcome(plan, measured_seconds: float) -> Optional[PlanOutcome]:
+    """Attach a measured runtime to *plan* and log it globally.
+
+    Returns the :class:`PlanOutcome` (also reachable as ``plan.outcome``),
+    or None when *plan* is None (e.g. a fixed-engine fit that never ran
+    the planner).
+    """
+    if plan is None:
+        return None
+    outcome = PlanOutcome(
+        workload=plan.workload.name,
+        choice=plan.chosen.label,
+        predicted_seconds=float(plan.predicted_seconds),
+        measured_seconds=float(measured_seconds),
+    )
+    # Plan is a frozen dataclass; outcome is deliberately mutable metadata
+    # attached after execution, not part of the plan's identity.
+    object.__setattr__(plan, "outcome", outcome)
+    with _recent_lock:
+        _recent.append(outcome)
+    _OUTCOMES_TOTAL.labels(workload=outcome.workload, choice=outcome.choice).inc()
+    if outcome.predicted_seconds > 0.0:
+        _RESIDUAL_RATIO.observe(outcome.ratio)
+    _MEASURED_SECONDS.labels(workload=outcome.workload).observe(
+        outcome.measured_seconds
+    )
+    return outcome
+
+
+def recent_outcomes() -> List[PlanOutcome]:
+    """Recorded outcomes, oldest first (bounded window)."""
+    with _recent_lock:
+        return list(_recent)
+
+
+def clear_outcomes() -> None:
+    with _recent_lock:
+        _recent.clear()

@@ -66,6 +66,20 @@ class Plan:
     def __post_init__(self) -> None:
         if not self.candidates:
             raise ValueError("a plan needs at least one scored candidate")
+        # Execution feedback slot, filled in by record_outcome() after the
+        # plan actually runs (frozen dataclass, hence object.__setattr__).
+        object.__setattr__(self, "outcome", None)
+
+    def record_outcome(self, measured_seconds: float):
+        """Attach the measured runtime of this plan's execution.
+
+        Returns the :class:`~repro.core.planner.feedback.PlanOutcome`; it is
+        also kept on ``self.outcome`` and in the process-global window
+        (:func:`repro.core.planner.feedback.recent_outcomes`).
+        """
+        from repro.core.planner.feedback import record_outcome
+
+        return record_outcome(self, measured_seconds)
 
     # -- chosen-candidate passthroughs ---------------------------------------
 
@@ -173,11 +187,22 @@ class Plan:
             f"(dense {self.calibration.dense_flops / 1e9:.1f} GFLOP/s, "
             f"dispatch {self.calibration.dispatch_overhead_s * 1e6:.1f} us/op)"
         )
+        outcome = getattr(self, "outcome", None)
+        if outcome is not None:
+            lines.append(
+                f"measured: {_fmt_seconds(outcome.measured_seconds)} vs predicted "
+                f"{_fmt_seconds(outcome.predicted_seconds)} "
+                f"({outcome.ratio:.2f}x, residual "
+                f"{_fmt_seconds(abs(outcome.residual_seconds))} "
+                f"{'over' if outcome.residual_seconds >= 0 else 'under'})"
+            )
+        else:
+            lines.append("measured: not yet executed (no outcome recorded)")
         return "\n".join(lines)
 
     def to_json(self) -> dict:
         """JSON-serializable form (the CI benchmark uploads this as an artifact)."""
-        return {
+        payload = {
             "workload": {"name": self.workload.name,
                          "iterations": self.workload.iterations},
             "data": dict(self.data_summary),
@@ -186,6 +211,10 @@ class Plan:
             "threshold_rule_choice": self.threshold_rule_choice,
             "calibration": self.calibration.to_json(),
         }
+        outcome = getattr(self, "outcome", None)
+        if outcome is not None:
+            payload["outcome"] = outcome.to_json()
+        return payload
 
 
 def _fmt_seconds(seconds: float) -> str:

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.exceptions import PlanningError
 from repro.core.cost import CostModel, Operator
 from repro.core.mn_matrix import MNNormalizedMatrix
@@ -53,6 +54,22 @@ from repro.la.types import is_sparse
 #: Estimated lazy-graph nodes evaluated per Table-1 operator (leaf + op +
 #: result handling); only used to price the lazy engine's bookkeeping.
 _NODES_PER_OP = 3.0
+
+_PLANS_TOTAL = obs.REGISTRY.counter(
+    "repro_planner_plans_total",
+    "Plans produced, by workload, chosen engine/backend and calibration source",
+    labels=("workload", "engine", "backend", "calibration"),
+)
+_CANDIDATES_SCORED = obs.REGISTRY.counter(
+    "repro_planner_candidates_scored_total",
+    "Candidate strategies scored across all planning calls",
+    labels=("workload",),
+)
+_CANDIDATE_SECONDS = obs.REGISTRY.gauge(
+    "repro_planner_candidate_predicted_seconds",
+    "Predicted wall-clock seconds per candidate of the most recent plan",
+    labels=("workload", "candidate"),
+)
 
 
 @dataclass(frozen=True)
@@ -281,19 +298,47 @@ class Planner:
         planner to choose only the layout and the engine).
         """
         workload = workload or WorkloadDescriptor.generic()
-        profile = self.calibration or get_profile()
-        data_profile = describe_data(data)
-        candidates = self._score_all(data_profile, workload, profile, n_shards)
-        summary = self._summary(data_profile)
-        chains = plan_chain_summaries(data, workload)
-        if chains:
-            summary["chains"] = chains
-        return Plan(
-            candidates=tuple(candidates),
-            workload=workload,
-            data_summary=summary,
-            calibration=profile,
-            threshold_rule_choice=self._threshold_choice(data_profile),
+        with obs.span("planner.plan", workload=workload.name):
+            profile = self.calibration or get_profile()
+            data_profile = describe_data(data)
+            candidates = self._score_all(data_profile, workload, profile, n_shards)
+            summary = self._summary(data_profile)
+            chains = plan_chain_summaries(data, workload)
+            if chains:
+                summary["chains"] = chains
+            plan = Plan(
+                candidates=tuple(candidates),
+                workload=workload,
+                data_summary=summary,
+                calibration=profile,
+                threshold_rule_choice=self._threshold_choice(data_profile),
+            )
+            if obs.enabled():
+                self._record_plan_metrics(plan)
+        return plan
+
+    @staticmethod
+    def _record_plan_metrics(plan: Plan) -> None:
+        """Publish the chosen plan and its candidate scores to the registry."""
+        chosen = plan.chosen
+        _PLANS_TOTAL.labels(
+            workload=plan.workload.name,
+            engine=chosen.engine,
+            backend=chosen.backend,
+            calibration=plan.calibration.source,
+        ).inc()
+        _CANDIDATES_SCORED.labels(workload=plan.workload.name).inc(
+            len(plan.candidates)
+        )
+        for candidate in plan.candidates:
+            _CANDIDATE_SECONDS.labels(
+                workload=plan.workload.name, candidate=candidate.label
+            ).set(candidate.predicted_seconds)
+        obs.annotate(
+            chosen=chosen.label,
+            predicted_seconds=chosen.predicted_seconds,
+            candidates=len(plan.candidates),
+            calibration=plan.calibration.source,
         )
 
     # -- candidate enumeration and scoring ------------------------------------

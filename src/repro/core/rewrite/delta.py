@@ -31,13 +31,47 @@ The M:N rules are the same formulas without the entity block.
 
 from __future__ import annotations
 
+import functools
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ShapeError
 from repro.la.ops import colsums, crossprod, diag_scale_rows, matmul, rowsums, transpose
 from repro.la.types import MatrixLike, ensure_2d, to_dense
+
+_RULE_SECONDS = obs.REGISTRY.histogram(
+    "repro_delta_rule_seconds",
+    "Latency of individual rank-|delta| patch rules",
+    labels=("rule",),
+)
+_RULES_TOTAL = obs.REGISTRY.counter(
+    "repro_delta_rules_total",
+    "Patch-rule applications by rule name",
+    labels=("rule",),
+)
+
+
+def _timed_rule(fn):
+    """Time a patch rule when observability is on (pure wrapper: the rule's
+    ``la.ops`` primitive-call structure -- and hence the golden traces -- is
+    untouched)."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        if not obs.enabled():
+            return fn(*args, **kwargs)
+        started = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            _RULE_SECONDS.labels(rule=fn.__name__).observe(
+                time.perf_counter() - started)
+            _RULES_TOTAL.labels(rule=fn.__name__).inc()
+
+    return wrapper
 
 
 def select_columns(indicator: MatrixLike, rows: np.ndarray) -> MatrixLike:
@@ -65,6 +99,7 @@ def _check_delta(rows: np.ndarray, values: np.ndarray, what: str) -> None:
 # Linear patches (LMM / transposed LMM / aggregations)
 # ---------------------------------------------------------------------------
 
+@_timed_rule
 def delta_lmm(indicator: MatrixLike, rows: np.ndarray, dvalues: np.ndarray,
               x_block: MatrixLike) -> np.ndarray:
     """Patch term for ``T @ X``: ``K_k[:, ρ] (Δ X_k)``, shape ``(n_S, m)``.
@@ -80,6 +115,7 @@ def delta_lmm(indicator: MatrixLike, rows: np.ndarray, dvalues: np.ndarray,
     return to_dense(matmul(selected, matmul(dvalues, x_block)))
 
 
+@_timed_rule
 def delta_tlmm_block(indicator: MatrixLike, rows: np.ndarray, dvalues: np.ndarray,
                      y: MatrixLike) -> np.ndarray:
     """Patch for rows ``seg_k`` of ``T^T Y``: ``Δ^T (K_k[:, ρ]^T Y)``, ``(d_k, m)``.
@@ -96,6 +132,7 @@ def delta_tlmm_block(indicator: MatrixLike, rows: np.ndarray, dvalues: np.ndarra
     return to_dense(matmul(transpose(dvalues), matmul(transpose(selected), y)))
 
 
+@_timed_rule
 def delta_rowsums(indicator: MatrixLike, rows: np.ndarray,
                   dvalues: np.ndarray) -> np.ndarray:
     """Patch term for ``rowSums(T)``: ``K_k[:, ρ] rowSums(Δ)``, ``(n_S, 1)``."""
@@ -106,6 +143,7 @@ def delta_rowsums(indicator: MatrixLike, rows: np.ndarray,
     return to_dense(matmul(selected, rowsums(dvalues)))
 
 
+@_timed_rule
 def delta_colsums_block(indicator: MatrixLike, rows: np.ndarray,
                         dvalues: np.ndarray) -> np.ndarray:
     """Patch for columns ``seg_k`` of ``colSums(T)``: ``colSums(K_k[:, ρ]) Δ``."""
@@ -116,6 +154,7 @@ def delta_colsums_block(indicator: MatrixLike, rows: np.ndarray,
     return to_dense(matmul(counts, dvalues))
 
 
+@_timed_rule
 def delta_total_sum(indicator: MatrixLike, rows: np.ndarray,
                     dvalues: np.ndarray) -> float:
     """Patch term for ``sum(T)``: the grand total of the colsums patch."""
@@ -126,6 +165,7 @@ def delta_total_sum(indicator: MatrixLike, rows: np.ndarray,
 # Cross-product patch (the Gram matrix)
 # ---------------------------------------------------------------------------
 
+@_timed_rule
 def patch_crossprod(gram: np.ndarray, entity: Optional[MatrixLike],
                     indicators: Sequence[MatrixLike], attributes: Sequence[MatrixLike],
                     table_index: int, rows: np.ndarray, old: np.ndarray,

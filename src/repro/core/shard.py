@@ -39,7 +39,14 @@ import numpy as np
 from repro.exceptions import ShapeError
 from repro.la import generic
 from repro.la import ops as la_ops
+from repro import obs
 from repro.la.parallel import ParallelExecutor, PoolSpec
+
+_SHARD_BUILDS = obs.REGISTRY.counter(
+    "repro_shard_builds_total",
+    "Sharded operands constructed, by source kind",
+    labels=("kind",),
+)
 from repro.la.types import MatrixLike, ensure_2d, is_matrix_like, is_sparse, to_dense
 
 Scalar = Union[int, float, np.floating, np.integer]
@@ -286,7 +293,13 @@ class ShardedMatrix:
                     ) -> "ShardedMatrix":
         """Partition an in-memory matrix into *n_shards* balanced row shards."""
         matrix = ensure_2d(matrix)
-        return cls(_split_rows(matrix, shard_bounds(matrix.shape[0], n_shards)), pool=pool)
+        with obs.span("shard.from_matrix", n_shards=n_shards,
+                      n_rows=matrix.shape[0]):
+            sharded = cls(_split_rows(matrix, shard_bounds(matrix.shape[0],
+                                                           n_shards)),
+                          pool=pool)
+        _SHARD_BUILDS.labels(kind="matrix").inc()
+        return sharded
 
     def _sibling(self, shards: Sequence[MatrixLike]) -> "ShardedMatrix":
         """A result matrix sharing this one's executor (and therefore pool)."""
@@ -538,9 +551,13 @@ class ShardedNormalizedMatrix:
         carries the flag on the wrapper.
         """
         plain = source.T if source.transposed else source
-        bounds = shard_bounds(plain.shape[0], n_shards)
-        pieces = [_slice_piece(plain, start, stop) for start, stop in bounds]
-        return cls(pieces, transposed=source.transposed, pool=pool)
+        with obs.span("shard.from_normalized", n_shards=n_shards,
+                      n_rows=plain.shape[0]):
+            bounds = shard_bounds(plain.shape[0], n_shards)
+            pieces = [_slice_piece(plain, start, stop) for start, stop in bounds]
+            sharded = cls(pieces, transposed=source.transposed, pool=pool)
+        _SHARD_BUILDS.labels(kind="normalized").inc()
+        return sharded
 
     def _sibling_pieces(self, pieces: Sequence) -> "ShardedNormalizedMatrix":
         return ShardedNormalizedMatrix(pieces, transposed=self.transposed,

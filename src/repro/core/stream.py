@@ -32,11 +32,13 @@ the streaming benchmark compare.
 from __future__ import annotations
 
 import operator
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import NotSupportedError, ShapeError
 from repro.la import generic
 from repro.la import ops as la_ops
@@ -49,6 +51,22 @@ from repro.la.types import (
 )
 
 Scalar = Union[int, float, np.floating, np.integer]
+
+_STREAM_EPOCHS = obs.REGISTRY.counter(
+    "repro_stream_epochs_total", "Full passes started over a streamed source"
+)
+_STREAM_BATCHES = obs.REGISTRY.counter(
+    "repro_stream_batches_total", "Mini-batches yielded by the streaming loop"
+)
+_STREAM_ROWS = obs.REGISTRY.counter(
+    "repro_stream_rows_total", "Rows yielded by the streaming loop"
+)
+_STREAM_EPOCH_SECONDS = obs.REGISTRY.histogram(
+    "repro_stream_epoch_seconds", "Wall-clock seconds per completed epoch pass"
+)
+_STREAM_ROWS_PER_SEC = obs.REGISTRY.gauge(
+    "repro_stream_rows_per_second", "Throughput of the most recent epoch pass"
+)
 
 _PY_OPS = {
     "+": operator.add,
@@ -184,9 +202,26 @@ class NormalizedBatchIterator:
         return self.num_batches
 
     def __iter__(self) -> Iterator[Batch]:
+        record = obs.enabled()
+        if record:
+            epoch_started = time.perf_counter()
+            _STREAM_EPOCHS.inc()
         order = self._rng.permutation(self.n_rows) if self.shuffle else None
+        try:
+            yield from self._iter_batches(order, record)
+        finally:
+            if record:
+                elapsed = time.perf_counter() - epoch_started
+                _STREAM_EPOCH_SECONDS.observe(elapsed)
+                if elapsed > 0:
+                    _STREAM_ROWS_PER_SEC.set(self.n_rows / elapsed)
+
+    def _iter_batches(self, order, record: bool) -> Iterator[Batch]:
         for start in range(0, self.n_rows, self.batch_size):
             stop = min(start + self.batch_size, self.n_rows)
+            if record:
+                _STREAM_BATCHES.inc()
+                _STREAM_ROWS.inc(stop - start)
             if order is None:
                 if start == 0 and stop == self.n_rows:
                     # Identity fast path: a full-coverage in-order batch *is*

@@ -58,6 +58,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.la.chain import ChainedIndicator
 from repro.la.ops import (
     colsums,
@@ -562,13 +563,37 @@ def using(name: str):
         set_active(previous)
 
 
+_DISPATCH_TOTAL = obs.REGISTRY.counter(
+    "repro_kernel_dispatch_total",
+    "Kernel dispatches by kernel name and resolved implementation set",
+    labels=("kernel", "impl_set"),
+)
+_FALLBACKS_TOTAL = obs.REGISTRY.counter(
+    "repro_kernel_fallback_total",
+    "Dispatches where the active set lacked the kernel and a fallback ran",
+    labels=("kernel", "wanted", "used"),
+)
+
+
 def _impl(name: str) -> Callable:
     if _tracing():
         return _IMPLS["reference"][name]
-    impls = _IMPLS[active()]
+    active_set = active()
+    impls = _IMPLS[active_set]
     fn = impls.get(name)
+    resolved_set = active_set
     if fn is None:
-        fn = _IMPLS["numpy"].get(name) or _IMPLS["reference"][name]
+        fn = _IMPLS["numpy"].get(name)
+        resolved_set = "numpy"
+        if fn is None:
+            fn = _IMPLS["reference"][name]
+            resolved_set = "reference"
+        if obs.enabled():
+            _FALLBACKS_TOTAL.labels(
+                kernel=name, wanted=active_set, used=resolved_set
+            ).inc()
+    if obs.enabled():
+        _DISPATCH_TOTAL.labels(kernel=name, impl_set=resolved_set).inc()
     return fn
 
 

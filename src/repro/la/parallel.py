@@ -25,14 +25,28 @@ pickling the shard operands.
 from __future__ import annotations
 
 import abc
+import contextvars
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar, Union
+
+from repro import obs
 
 _Item = TypeVar("_Item")
 _Result = TypeVar("_Result")
 
 PoolSpec = Union[None, str, int, "WorkerPool", Executor]
+
+_FANOUTS_TOTAL = obs.REGISTRY.counter(
+    "repro_shard_fanouts_total",
+    "ParallelExecutor.map fan-outs by pool kind",
+    labels=("pool",),
+)
+_TASKS_TOTAL = obs.REGISTRY.counter(
+    "repro_shard_tasks_total",
+    "Per-shard tasks dispatched through ParallelExecutor.map",
+    labels=("pool",),
+)
 
 
 def default_workers() -> int:
@@ -215,6 +229,20 @@ class ParallelExecutor:
         items = list(items)
         if len(items) <= 1:
             return [fn(item) for item in items]
+        if obs.enabled():
+            _FANOUTS_TOTAL.labels(pool=self.pool.name).inc()
+            _TASKS_TOTAL.labels(pool=self.pool.name).inc(len(items))
+            if obs.current_span() is not None and self.pool.name == "thread":
+                # Carry the active span into the worker threads so shard-local
+                # work nests under the caller's span.  Each task runs in its
+                # own copy of the captured context (a Context object cannot be
+                # entered concurrently).  Process/executor pools may cross a
+                # pickle boundary, so their shard work stays un-parented.
+                with obs.span("shard.map", pool=self.pool.name, tasks=len(items)):
+                    ctx = contextvars.copy_context()
+                    return self.pool.map(
+                        lambda item: ctx.copy().run(fn, item), items
+                    )
         return self.pool.map(fn, items)
 
     def map_reduce(self, fn: Callable[[_Item], _Result], items: Sequence[_Item],

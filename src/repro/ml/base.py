@@ -10,11 +10,67 @@ iteration.
 from __future__ import annotations
 
 import abc
+import functools
+import time
 from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ShapeError
+
+_FITS_TOTAL = obs.REGISTRY.counter(
+    "repro_ml_fits_total",
+    "Completed fits, by estimator, engine setting and solver",
+    labels=("estimator", "engine", "solver"),
+)
+_FIT_SECONDS = obs.REGISTRY.histogram(
+    "repro_ml_fit_seconds",
+    "Wall-clock duration of completed fits",
+    labels=("estimator",),
+    buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+             30.0, 60.0),
+)
+
+
+def fit_telemetry(fn):
+    """Instrument a concrete ``fit``: span, duration metrics, plan feedback.
+
+    Applied to every estimator's ``fit``.  Whatever the observability state,
+    an ``engine="auto"`` fit gets its measured runtime recorded against the
+    chosen plan's prediction (``plan_.outcome`` /
+    :func:`repro.core.planner.feedback.record_outcome` -- two clock reads,
+    negligible next to a fit).  With observability enabled the fit also runs
+    inside a ``<Estimator>.fit`` span and lands in the fit metrics.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        started = time.perf_counter()
+        if not obs.enabled():
+            result = fn(self, *args, **kwargs)
+            plan = getattr(self, "plan_", None)
+            if plan is not None:
+                plan.record_outcome(time.perf_counter() - started)
+            return result
+        estimator = type(self).__name__
+        engine = getattr(self, "engine", "eager")
+        solver = getattr(self, "solver", "batch")
+        with obs.span(f"{estimator}.fit", engine=engine, solver=solver) as sp:
+            result = fn(self, *args, **kwargs)
+            elapsed = time.perf_counter() - started
+            plan = getattr(self, "plan_", None)
+            if plan is not None:
+                outcome = plan.record_outcome(elapsed)
+                sp.set(plan=plan.chosen.label,
+                       predicted_seconds=outcome.predicted_seconds,
+                       measured_seconds=outcome.measured_seconds)
+            _FITS_TOTAL.labels(estimator=estimator, engine=str(engine),
+                               solver=str(solver)).inc()
+            _FIT_SECONDS.labels(estimator=estimator).observe(elapsed)
+        return result
+
+    return wrapper
 
 
 class IterativeEstimator(abc.ABC):

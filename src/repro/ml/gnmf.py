@@ -21,7 +21,12 @@ import numpy as np
 
 from repro.la import ops as la_ops
 from repro.la.generic import to_dense_result
-from repro.ml.base import IterativeEstimator, unwrap_lazy, validate_predict_data
+from repro.ml.base import (
+    IterativeEstimator,
+    fit_telemetry,
+    unwrap_lazy,
+    validate_predict_data,
+)
 from repro.ml.export import ServingExport
 
 
@@ -68,6 +73,7 @@ class GNMF(IterativeEstimator):
 
         return WorkloadDescriptor.gnmf(self.rank, self.max_iter)
 
+    @fit_telemetry
     def fit(self, data, initial_w: Optional[np.ndarray] = None,
             initial_h: Optional[np.ndarray] = None) -> "GNMF":
         """Run the multiplicative updates; *data* must be element-wise non-negative."""

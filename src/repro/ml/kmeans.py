@@ -25,7 +25,12 @@ import numpy as np
 
 from repro.la import generic
 from repro.la.generic import to_dense_result
-from repro.ml.base import IterativeEstimator, unwrap_lazy, validate_predict_data
+from repro.ml.base import (
+    IterativeEstimator,
+    fit_telemetry,
+    unwrap_lazy,
+    validate_predict_data,
+)
 from repro.ml.export import ServingExport
 
 
@@ -74,6 +79,7 @@ class KMeans(IterativeEstimator):
 
         return WorkloadDescriptor.kmeans(self.num_clusters, self.max_iter)
 
+    @fit_telemetry
     def fit(self, data, initial_centroids: Optional[np.ndarray] = None) -> "KMeans":
         engine, data = self._resolve_engine(data)
         n = data.shape[0]

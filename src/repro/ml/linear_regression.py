@@ -28,6 +28,7 @@ from repro.la.generic import to_dense_result
 from repro.ml.base import (
     IterativeEstimator,
     as_column,
+    fit_telemetry,
     check_rows_match,
     shard_for_jobs,
     unwrap_lazy,
@@ -52,6 +53,7 @@ class LinearRegressionNE:
         self.n_jobs = validate_n_jobs(n_jobs)
         self.coef_: Optional[np.ndarray] = None
 
+    @fit_telemetry
     def fit(self, data, target) -> "LinearRegressionNE":
         """Solve ``w = ginv(T^T T) (T^T Y)``."""
         data = shard_for_jobs(unwrap_lazy(data), self.n_jobs)
@@ -103,6 +105,7 @@ class LinearRegressionGD(IterativeEstimator):
 
         return WorkloadDescriptor.linear_regression_gd(self.max_iter)
 
+    @fit_telemetry
     def fit(self, data, target, initial_weights: Optional[np.ndarray] = None
             ) -> "LinearRegressionGD":
         y = as_column(target)
@@ -219,6 +222,7 @@ class LinearRegressionCofactor(IterativeEstimator):
         self.coef_: Optional[np.ndarray] = None
         self.cofactor_: Optional[np.ndarray] = None
 
+    @fit_telemetry
     def fit(self, data, target, initial_weights: Optional[np.ndarray] = None
             ) -> "LinearRegressionCofactor":
         data = self._dispatch_data(unwrap_lazy(data))

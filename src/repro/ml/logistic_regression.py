@@ -26,6 +26,7 @@ from repro.la.generic import to_dense_result
 from repro.ml.base import (
     IterativeEstimator,
     as_column,
+    fit_telemetry,
     check_rows_match,
     clip_scores,
     sigmoid,
@@ -65,6 +66,7 @@ class LogisticRegressionGD(IterativeEstimator):
 
         return WorkloadDescriptor.logistic_regression(self.max_iter)
 
+    @fit_telemetry
     def fit(self, data, target, initial_weights: Optional[np.ndarray] = None
             ) -> "LogisticRegressionGD":
         """Train on the data matrix *data* (regular or normalized) and labels *target*.

@@ -1,0 +1,76 @@
+"""Observability: metrics, tracing, and exporters for the whole stack.
+
+Quickstart::
+
+    from repro import obs
+
+    obs.enable()                      # or REPRO_OBS=1 in the environment
+    model.fit(data, y)                # planner/cache/kernel series record
+    print(obs.summary())              # terminal table
+    obs.to_jsonl("metrics.jsonl")     # machine-readable dump
+    text = obs.to_prometheus()        # scrape-format exposition
+    tree = obs.recent_spans()[-1]     # last completed span tree
+    print(tree.render())
+
+Everything is a no-op (one boolean check) when disabled, so
+instrumentation stays in place permanently.  Depends only on the
+standard library and numpy — importable from every layer.
+"""
+
+from .export import summary, to_jsonl, to_prometheus
+from .metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    CounterFamily,
+    Gauge,
+    GaugeFamily,
+    Histogram,
+    HistogramFamily,
+    MetricsRegistry,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+)
+from .trace import (
+    Span,
+    annotate,
+    clear_spans,
+    current_span,
+    recent_spans,
+    span,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "CounterFamily",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "annotate",
+    "clear_spans",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "recent_spans",
+    "span",
+    "summary",
+    "to_jsonl",
+    "to_prometheus",
+    "traced",
+]
+
+
+def reset() -> None:
+    """Zero all metric series and drop recorded spans (test helper)."""
+    REGISTRY.reset()
+    clear_spans()

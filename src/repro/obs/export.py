@@ -1,0 +1,126 @@
+"""Exporters for the metrics registry and recorded span trees.
+
+Three output formats:
+
+- :func:`to_jsonl` — one JSON object per line (metric series, then span
+  trees), suitable for log shipping or offline analysis.
+- :func:`to_prometheus` — Prometheus text exposition format (version
+  0.0.4): ``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket`` lines
+  with ``le`` labels, ``_sum`` / ``_count`` for histograms.
+- :func:`summary` — a human-readable table for terminals and CI logs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from . import trace as _trace
+from .metrics import REGISTRY, MetricsRegistry
+
+__all__ = ["summary", "to_jsonl", "to_prometheus"]
+
+
+def _labels_text(labels: dict, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render every family in Prometheus text exposition format."""
+    reg = registry if registry is not None else REGISTRY
+    lines: List[str] = []
+    for family in reg.collect():
+        name, kind = family["name"], family["kind"]
+        if family["help"]:
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for series in family["series"]:
+            labels = series["labels"]
+            if kind == "histogram":
+                for upper, count in series["buckets"]:
+                    le = _labels_text(labels, f'le="{_fmt(upper)}"')
+                    lines.append(f"{name}_bucket{le} {count}")
+                lines.append(f"{name}_sum{_labels_text(labels)} {series['sum']!r}")
+                lines.append(f"{name}_count{_labels_text(labels)} {series['count']}")
+            else:
+                lines.append(f"{name}{_labels_text(labels)} {_fmt(series['value'])}")
+    return "\n".join(lines) + "\n"
+
+
+def to_jsonl(
+    path: Optional[str] = None,
+    registry: Optional[MetricsRegistry] = None,
+    spans: bool = True,
+) -> str:
+    """Dump metrics (and optionally span trees) as JSON lines.
+
+    Returns the payload; also writes it to ``path`` when given.
+    """
+    reg = registry if registry is not None else REGISTRY
+    lines: List[str] = []
+    for family in reg.collect():
+        for series in family["series"]:
+            record = {
+                "type": "metric",
+                "name": family["name"],
+                "kind": family["kind"],
+                "labels": series["labels"],
+            }
+            if family["kind"] == "histogram":
+                record["count"] = series["count"]
+                record["sum"] = series["sum"]
+                record["buckets"] = series["buckets"]
+            else:
+                record["value"] = series["value"]
+            lines.append(json.dumps(record, sort_keys=True))
+    if spans:
+        for root in _trace.recent_spans():
+            lines.append(
+                json.dumps({"type": "span", "tree": root.to_dict()}, sort_keys=True)
+            )
+    payload = "\n".join(lines) + ("\n" if lines else "")
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+    return payload
+
+
+def summary(registry: Optional[MetricsRegistry] = None) -> str:
+    """Human-readable table of every non-empty metric series."""
+    reg = registry if registry is not None else REGISTRY
+    rows: List[tuple] = []
+    for family in reg.collect():
+        for series in family["series"]:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(series["labels"].items()))
+            if family["kind"] == "histogram":
+                count = series["count"]
+                mean = series["sum"] / count if count else 0.0
+                value = f"count={count} mean={mean:.6g}s"
+            else:
+                value = _fmt(series["value"])
+            rows.append((family["name"], family["kind"], labels, value))
+    if not rows:
+        return "(no metrics recorded)"
+    widths = [max(len(str(r[i])) for r in rows) for i in range(3)]
+    header = ("metric".ljust(widths[0]), "kind".ljust(widths[1]), "labels".ljust(widths[2]))
+    lines = [
+        f"{header[0]}  {header[1]}  {header[2]}  value",
+        "-" * (sum(widths) + len("value") + 6),
+    ]
+    for name, kind, labels, value in rows:
+        lines.append(
+            f"{name.ljust(widths[0])}  {kind.ljust(widths[1])}  "
+            f"{labels.ljust(widths[2])}  {value}"
+        )
+    return "\n".join(lines)

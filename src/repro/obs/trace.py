@@ -1,0 +1,216 @@
+"""Contextvar-propagated span trees with wall-clock and CPU timings.
+
+Spans form trees: entering :func:`span` while another span is active
+attaches the new span as a child.  The active span travels through a
+``contextvars.ContextVar``, so propagating it into worker threads only
+requires running the task inside ``contextvars.copy_context()`` (the
+shard pool does this when tracing is enabled).
+
+Everything here is a no-op when the observability gate
+(:func:`repro.obs.metrics.enabled`) is off: ``@traced`` calls the wrapped
+function directly and ``span()`` yields a shared null object, so the
+disabled-mode overhead is one boolean check per call.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import functools
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from . import metrics as _metrics
+
+__all__ = [
+    "Span",
+    "annotate",
+    "clear_spans",
+    "current_span",
+    "recent_spans",
+    "span",
+    "traced",
+]
+
+
+class Span:
+    """One timed region: name, wall/CPU duration, attributes, children."""
+
+    __slots__ = (
+        "attrs",
+        "children",
+        "cpu_end",
+        "cpu_start",
+        "name",
+        "wall_end",
+        "wall_start",
+        "_lock",
+    )
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.children: List["Span"] = []
+        self.wall_start = time.perf_counter()
+        self.cpu_start = time.process_time()
+        self.wall_end: Optional[float] = None
+        self.cpu_end: Optional[float] = None
+        self._lock = threading.Lock()
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def _add_child(self, child: "Span") -> None:
+        with self._lock:
+            self.children.append(child)
+
+    def _finish(self) -> None:
+        self.wall_end = time.perf_counter()
+        self.cpu_end = time.process_time()
+
+    @property
+    def wall_seconds(self) -> float:
+        end = self.wall_end if self.wall_end is not None else time.perf_counter()
+        return end - self.wall_start
+
+    @property
+    def cpu_seconds(self) -> float:
+        end = self.cpu_end if self.cpu_end is not None else time.process_time()
+        return end - self.cpu_start
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """ASCII tree of this span and its descendants."""
+        pad = "  " * indent
+        attrs = ""
+        if self.attrs:
+            inner = ", ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+            attrs = f" [{inner}]"
+        lines = [
+            f"{pad}{self.name}: wall={self.wall_seconds * 1e3:.3f}ms "
+            f"cpu={self.cpu_seconds * 1e3:.3f}ms{attrs}"
+        ]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for a descendant (or self) by name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, wall={self.wall_seconds:.6f}s, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Shared no-op stand-in yielded by ``span()`` when disabled."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    @property
+    def wall_seconds(self) -> float:
+        return 0.0
+
+    @property
+    def cpu_seconds(self) -> float:
+        return 0.0
+
+
+_NULL_SPAN = _NullSpan()
+
+_current: contextvars.ContextVar[Optional[Span]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+#: Completed root span trees, newest last, bounded.
+_ROOT_WINDOW = 256
+_roots: deque = deque(maxlen=_ROOT_WINDOW)
+_roots_lock = threading.Lock()
+
+
+def current_span() -> Optional[Span]:
+    """The innermost active span in this context, or None."""
+    return _current.get()
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the active span; no-op without one."""
+    active = _current.get()
+    if active is not None:
+        active.set(**attrs)
+
+
+def recent_spans() -> List[Span]:
+    """Completed root spans, oldest first (bounded window)."""
+    with _roots_lock:
+        return list(_roots)
+
+
+def clear_spans() -> None:
+    with _roots_lock:
+        _roots.clear()
+
+
+@contextmanager
+def span(name: str, **attrs: Any):
+    """Context manager opening a traced span; no-op when disabled."""
+    if not _metrics.enabled():
+        yield _NULL_SPAN
+        return
+    current = Span(name, attrs)
+    parent = _current.get()
+    token = _current.set(current)
+    try:
+        yield current
+    finally:
+        current._finish()
+        _current.reset(token)
+        if parent is not None:
+            parent._add_child(current)
+        else:
+            with _roots_lock:
+                _roots.append(current)
+
+
+def traced(name: Optional[str] = None, **attrs: Any):
+    """Decorator tracing a function call; direct call when disabled.
+
+    Usable bare (``@traced``) or with a span name (``@traced("fit")``).
+    """
+    if callable(name):  # bare @traced
+        fn = name
+        return traced(None)(fn)
+
+    def decorate(fn):
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            if not _metrics.enabled():
+                return fn(*args, **kwargs)
+            with span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -31,8 +31,11 @@ rebuilt (in the background if requested) and the snapshot swap of
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import obs
 from repro.core.indicator import indicator_codes
 from repro.core.mn_matrix import MNNormalizedMatrix
 from repro.la import kernels
@@ -45,6 +48,19 @@ from repro.ml.export import ServingExport, apply_head, export_model
 from repro.serve.bounds import DEFAULT_BLOCK_SIZE, ZoneMapIndex, ZoneMaps
 from repro.serve.snapshot import ServingSnapshot, SnapshotManager, compute_partial
 from repro.serve.topk import TopKResult, top_k_search
+
+#: Update-to-visibility: from the freshness call to the published swap,
+#: including any queue wait on the background worker.
+_VISIBILITY_SECONDS = obs.REGISTRY.histogram(
+    "repro_serve_update_visibility_seconds",
+    "Latency from update_table/apply_delta call to the published snapshot",
+    labels=("path",),
+)
+_UPDATES_TOTAL = obs.REGISTRY.counter(
+    "repro_serve_updates_total",
+    "Freshness operations accepted, by path and mode",
+    labels=("path", "mode"),
+)
 
 
 class FactorizedScorer:
@@ -406,10 +422,22 @@ class FactorizedScorer:
         weight_slice = self.export.weights[segment.slice()]
         position = self._table_segments.index(segment)
 
-        def rebuild() -> ServingSnapshot:
-            partial = compute_partial(new_attribute, weight_slice)
-            return self._snapshots.swap(lambda snap: snap.with_partial(position, partial))
+        record = obs.enabled()
+        accepted = time.perf_counter() if record else 0.0
 
+        def rebuild() -> ServingSnapshot:
+            with obs.span("serve.update_table", table=segment.name):
+                partial = compute_partial(new_attribute, weight_slice)
+                snapshot = self._snapshots.swap(
+                    lambda snap: snap.with_partial(position, partial))
+            if record:
+                _VISIBILITY_SECONDS.labels(path="rebuild").observe(
+                    time.perf_counter() - accepted)
+            return snapshot
+
+        if record:
+            _UPDATES_TOTAL.labels(path="rebuild",
+                                  mode="wait" if wait else "background").inc()
         if wait:
             return rebuild()
         return self._snapshots.submit(rebuild)
@@ -436,6 +464,9 @@ class FactorizedScorer:
         weight_slice = self.export.weights[segment.slice()]
         position = self._table_segments.index(segment)
 
+        record = obs.enabled()
+        accepted = time.perf_counter() if record else 0.0
+
         def patch() -> ServingSnapshot:
             # The row-count check runs inside the swap's writer lock (via this
             # closure) against the snapshot actually being patched, so a
@@ -450,8 +481,17 @@ class FactorizedScorer:
                     )
                 return snap.with_patched_partial(position, delta, weight_slice)
 
-            return self._snapshots.swap(update)
+            with obs.span("serve.apply_delta", table=segment.name,
+                          delta_rows=int(delta.rows.shape[0])):
+                snapshot = self._snapshots.swap(update)
+            if record:
+                _VISIBILITY_SECONDS.labels(path="patch").observe(
+                    time.perf_counter() - accepted)
+            return snapshot
 
+        if record:
+            _UPDATES_TOTAL.labels(path="patch",
+                                  mode="wait" if wait else "background").inc()
         if wait:
             return patch()
         return self._snapshots.submit(patch)

@@ -22,14 +22,45 @@ itself reads one immutable snapshot per call (see
 from __future__ import annotations
 
 import threading
+import time
+import types
 from collections import OrderedDict
-from typing import Dict, Iterable, Optional
+from typing import Iterable, Mapping, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.exceptions import ServingError, ShapeError
 from repro.ml.export import apply_head
 from repro.serve.scorer import FactorizedScorer
+
+_REQUESTS_TOTAL = obs.REGISTRY.counter(
+    "repro_serve_requests_total",
+    "Scoring requests (rows) served, by entry path",
+    labels=("path",),
+)
+_REQUEST_SECONDS = obs.REGISTRY.histogram(
+    "repro_serve_request_seconds",
+    "End-to-end latency of point requests (score_row)",
+)
+_BATCH_SECONDS = obs.REGISTRY.histogram(
+    "repro_serve_batch_seconds",
+    "End-to-end latency of batch entry points (all micro-batches)",
+)
+_LRU_EVENTS = obs.REGISTRY.counter(
+    "repro_serve_lru_events_total",
+    "Hot-entity LRU cache events across all services",
+    labels=("event",),
+)
+_TOPK_BLOCKS = obs.REGISTRY.counter(
+    "repro_serve_topk_blocks_total",
+    "Zone-map blocks examined by top-k requests, by outcome",
+    labels=("outcome",),
+)
+_TOPK_ROWS_SCORED = obs.REGISTRY.counter(
+    "repro_serve_topk_rows_scored_total",
+    "Rows exactly scored by top-k requests",
+)
 
 
 class ScoringService:
@@ -58,14 +89,17 @@ class ScoringService:
         self.cache_size = int(cache_size)
         self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._lock = threading.Lock()
-        self._requests = 0
-        self._micro_batches = 0
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._topk_requests = 0
-        self._topk_blocks_visited = 0
-        self._topk_blocks_skipped = 0
-        self._topk_rows_scored = 0
+        # Per-instance series (always=True: stats() predates the obs layer
+        # and must keep counting with observability off); the gated global
+        # families above aggregate across services for the exporters.
+        self._requests = obs.Counter(always=True)
+        self._micro_batches = obs.Counter(always=True)
+        self._cache_hits = obs.Counter(always=True)
+        self._cache_misses = obs.Counter(always=True)
+        self._topk_requests = obs.Counter(always=True)
+        self._topk_blocks_visited = obs.Counter(always=True)
+        self._topk_blocks_skipped = obs.Counter(always=True)
+        self._topk_rows_scored = obs.Counter(always=True)
 
     # -- point path (LRU-cached) ---------------------------------------------------
 
@@ -78,16 +112,24 @@ class ScoringService:
         # cached under the pre-swap version key hands version v+1 data to
         # readers still on version v, breaking the one-consistent-snapshot
         # guarantee.
+        record = obs.enabled()
+        started = time.perf_counter() if record else 0.0
         snapshot = self.scorer.current_snapshot()
         key = (snapshot.version, row)
         with self._lock:
-            self._requests += 1
+            self._requests.inc()
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
-                self._cache_hits += 1
-                return cached
-            self._cache_misses += 1
+                self._cache_hits.inc()
+            else:
+                self._cache_misses.inc()
+        if cached is not None:
+            if record:
+                _REQUESTS_TOTAL.labels(path="point").inc()
+                _LRU_EVENTS.labels(event="hit").inc()
+                _REQUEST_SECONDS.observe(time.perf_counter() - started)
+            return cached
         scores = self.scorer.score_rows([row], snapshot=snapshot)[0]
         scores.setflags(write=False)
         if self.cache_size:
@@ -96,6 +138,10 @@ class ScoringService:
                 self._cache.move_to_end(key)
                 while len(self._cache) > self.cache_size:
                     self._cache.popitem(last=False)
+        if record:
+            _REQUESTS_TOTAL.labels(path="point").inc()
+            _LRU_EVENTS.labels(event="miss").inc()
+            _REQUEST_SECONDS.observe(time.perf_counter() - started)
         return scores
 
     def predict_row(self, row: int) -> np.ndarray:
@@ -144,6 +190,8 @@ class ScoringService:
             # shape/dtype (e.g. 1-D int labels for K-Means, not (0, k) floats).
             raw = self.scorer.score_rows(indices)
             return apply_head(self.scorer.export, raw, head) if head != "score" else raw
+        record = obs.enabled()
+        started = time.perf_counter() if record else 0.0
         # One snapshot for the whole service call: a batch split into
         # micro-batches must not straddle a concurrent update_table swap.
         snapshot = self.scorer.current_snapshot()
@@ -154,8 +202,11 @@ class ScoringService:
             chunks.append(apply_head(self.scorer.export, raw, head)
                           if head != "score" else raw)
             with self._lock:
-                self._requests += int(chunk.shape[0])
-                self._micro_batches += 1
+                self._requests.inc(int(chunk.shape[0]))
+                self._micro_batches.inc()
+        if record:
+            _REQUESTS_TOTAL.labels(path="batch").inc(int(indices.shape[0]))
+            _BATCH_SECONDS.observe(time.perf_counter() - started)
         return np.concatenate(chunks, axis=0)
 
     def _batched_requests(self, features, keys, head: str) -> np.ndarray:
@@ -193,6 +244,8 @@ class ScoringService:
         if n == 0:
             raw = self.scorer.score(features, keys)
             return apply_head(self.scorer.export, raw, head) if head != "score" else raw
+        record = obs.enabled()
+        started = time.perf_counter() if record else 0.0
         snapshot = self.scorer.current_snapshot()
         chunks = []
         for start in range(0, n, self.max_batch_size):
@@ -203,8 +256,11 @@ class ScoringService:
             chunks.append(apply_head(self.scorer.export, raw, head)
                           if head != "score" else raw)
             with self._lock:
-                self._requests += stop - start
-                self._micro_batches += 1
+                self._requests.inc(stop - start)
+                self._micro_batches.inc()
+        if record:
+            _REQUESTS_TOTAL.labels(path="adhoc").inc(n)
+            _BATCH_SECONDS.observe(time.perf_counter() - started)
         return np.concatenate(chunks, axis=0)
 
     # -- top-k (bound-pruned) --------------------------------------------------------
@@ -219,12 +275,23 @@ class ScoringService:
         touches (see :meth:`stats`).
         """
         result = self.scorer.top_k(k, largest=largest, output=output)
+        visited = result.stats.get("blocks_visited", 0)
+        skipped = result.stats.get("blocks_skipped", 0)
+        rows_scored = result.stats.get("rows_scored", 0)
         with self._lock:
-            self._requests += 1
-            self._topk_requests += 1
-            self._topk_blocks_visited += result.stats.get("blocks_visited", 0)
-            self._topk_blocks_skipped += result.stats.get("blocks_skipped", 0)
-            self._topk_rows_scored += result.stats.get("rows_scored", 0)
+            self._requests.inc()
+            self._topk_requests.inc()
+            self._topk_blocks_visited.inc(visited)
+            self._topk_blocks_skipped.inc(skipped)
+            self._topk_rows_scored.inc(rows_scored)
+        if obs.enabled():
+            _REQUESTS_TOTAL.labels(path="topk").inc()
+            if visited:
+                _TOPK_BLOCKS.labels(outcome="visited").inc(visited)
+            if skipped:
+                _TOPK_BLOCKS.labels(outcome="skipped").inc(skipped)
+            if rows_scored:
+                _TOPK_ROWS_SCORED.inc(rows_scored)
         return result
 
     # -- freshness + introspection ---------------------------------------------------
@@ -245,21 +312,26 @@ class ScoringService:
         """
         return self.scorer.apply_delta(table, delta, wait=wait)
 
-    def stats(self) -> Dict[str, int]:
-        """Service counters (requests, micro-batches, cache hits/misses)."""
+    def stats(self) -> Mapping[str, int]:
+        """An immutable point-in-time snapshot of the service counters.
+
+        The snapshot is built under the service lock (no torn reads of
+        mid-batch state) and returned as a read-only mapping: mutating it
+        raises ``TypeError`` and can never corrupt the live counters.
+        """
         with self._lock:
-            return {
-                "requests": self._requests,
-                "micro_batches": self._micro_batches,
-                "cache_hits": self._cache_hits,
-                "cache_misses": self._cache_misses,
+            return types.MappingProxyType({
+                "requests": int(self._requests.value),
+                "micro_batches": int(self._micro_batches.value),
+                "cache_hits": int(self._cache_hits.value),
+                "cache_misses": int(self._cache_misses.value),
                 "cache_entries": len(self._cache),
                 "snapshot_version": self.scorer.version,
-                "topk_requests": self._topk_requests,
-                "topk_blocks_visited": self._topk_blocks_visited,
-                "topk_blocks_skipped": self._topk_blocks_skipped,
-                "topk_rows_scored": self._topk_rows_scored,
-            }
+                "topk_requests": int(self._topk_requests.value),
+                "topk_blocks_visited": int(self._topk_blocks_visited.value),
+                "topk_blocks_skipped": int(self._topk_blocks_skipped.value),
+                "topk_rows_scored": int(self._topk_rows_scored.value),
+            })
 
     def clear_cache(self) -> None:
         """Drop every cached point score."""

@@ -25,13 +25,28 @@ consistent-snapshot recipe:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.la import kernels
 from repro.la.types import MatrixLike, to_dense
+
+_SWAP_SECONDS = obs.REGISTRY.histogram(
+    "repro_serve_snapshot_swap_seconds",
+    "Duration of an atomic snapshot swap (update fn inside the writer lock)",
+)
+_SWAPS_TOTAL = obs.REGISTRY.counter(
+    "repro_serve_snapshot_swaps_total",
+    "Snapshot swaps published across all managers",
+)
+_REBUILDS_TOTAL = obs.REGISTRY.counter(
+    "repro_serve_snapshot_rebuilds_total",
+    "Background rebuild tasks submitted across all managers",
+)
 
 
 def compute_partial(attribute: MatrixLike, weight_slice: np.ndarray) -> np.ndarray:
@@ -135,17 +150,37 @@ class SnapshotManager:
         self._write_lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._executor_lock = threading.Lock()
+        # Back-compat style views: counting is unconditional, cheap, and
+        # readable via the swap_count / rebuild_count properties.
+        self._swaps = obs.Counter(always=True)
+        self._rebuilds = obs.Counter(always=True)
 
     @property
     def snapshot(self) -> ServingSnapshot:
         """The current snapshot; read it once per request and hold on to it."""
         return self._snapshot
 
+    @property
+    def swap_count(self) -> int:
+        """Snapshot swaps this manager has published."""
+        return int(self._swaps.value)
+
+    @property
+    def rebuild_count(self) -> int:
+        """Background rebuild tasks this manager has accepted."""
+        return int(self._rebuilds.value)
+
     def swap(self, update: Callable[[ServingSnapshot], ServingSnapshot]) -> ServingSnapshot:
         """Atomically replace the snapshot with ``update(current)``."""
+        record = obs.enabled()
+        started = time.perf_counter() if record else 0.0
         with self._write_lock:
             snapshot = update(self._snapshot)
             self._snapshot = snapshot
+        self._swaps.inc()
+        _SWAPS_TOTAL.inc()
+        if record:
+            _SWAP_SECONDS.observe(time.perf_counter() - started)
         return snapshot
 
     def apply_delta(self, table_index: int, delta,
@@ -165,6 +200,8 @@ class SnapshotManager:
 
     def submit(self, task: Callable[[], ServingSnapshot]) -> "Future[ServingSnapshot]":
         """Run *task* (rebuild + swap) on the single background worker."""
+        self._rebuilds.inc()
+        _REBUILDS_TOTAL.inc()
         with self._executor_lock:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(

@@ -1,0 +1,18 @@
+"""Shared obs-test plumbing: every test starts and ends with a clean slate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.disable()
+    obs.REGISTRY.reset()
+    obs.clear_spans()
+    yield
+    obs.disable()
+    obs.REGISTRY.reset()
+    obs.clear_spans()

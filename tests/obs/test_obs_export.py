@@ -1,0 +1,85 @@
+"""Exporters: JSON-lines shape, Prometheus text format, summary table."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import summary, to_jsonl, to_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("demo_events_total", "demo events", labels=("kind",),
+                    always=True)
+    c.labels(kind="a").inc(3)
+    c.labels(kind="b").inc()
+    g = reg.gauge("demo_level", "a level", always=True)
+    g.set(2.5)
+    h = reg.histogram("demo_seconds", "latency", buckets=(0.1, 1.0), always=True)
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(7.0)
+    return reg
+
+
+class TestPrometheus:
+    def test_text_format(self):
+        text = to_prometheus(_populated_registry())
+        assert "# HELP demo_events_total demo events" in text
+        assert "# TYPE demo_events_total counter" in text
+        assert 'demo_events_total{kind="a"} 3' in text
+        assert 'demo_events_total{kind="b"} 1' in text
+        assert "# TYPE demo_level gauge" in text
+        assert "demo_level 2.5" in text
+        assert 'demo_seconds_bucket{le="0.1"} 1' in text
+        assert 'demo_seconds_bucket{le="1"} 2' in text
+        assert 'demo_seconds_bucket{le="+Inf"} 3' in text
+        assert "demo_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_histogram_sum_line(self):
+        text = to_prometheus(_populated_registry())
+        (sum_line,) = [ln for ln in text.splitlines()
+                       if ln.startswith("demo_seconds_sum")]
+        assert float(sum_line.split()[-1]) == pytest.approx(7.55)
+
+
+class TestJsonl:
+    def test_every_line_is_json_and_typed(self, tmp_path):
+        reg = _populated_registry()
+        path = tmp_path / "metrics.jsonl"
+        payload = to_jsonl(str(path), registry=reg, spans=False)
+        assert path.read_text() == payload
+        records = [json.loads(line) for line in payload.splitlines()]
+        assert all(r["type"] == "metric" for r in records)
+        by_name = {}
+        for r in records:
+            by_name.setdefault(r["name"], []).append(r)
+        assert {r["labels"]["kind"] for r in by_name["demo_events_total"]} == {"a", "b"}
+        (hist,) = by_name["demo_seconds"]
+        assert hist["count"] == 3
+        assert hist["buckets"][-1][1] == 3
+
+    def test_spans_included_from_global_trace(self):
+        obs.enable()
+        with obs.span("export-me"):
+            pass
+        payload = to_jsonl(registry=_populated_registry())
+        span_records = [json.loads(line) for line in payload.splitlines()
+                        if json.loads(line)["type"] == "span"]
+        assert any(r["tree"]["name"] == "export-me" for r in span_records)
+
+
+class TestSummary:
+    def test_summary_table(self):
+        text = summary(_populated_registry())
+        assert "demo_events_total" in text
+        assert "kind=a" in text
+        assert "count=3" in text  # histogram row
+
+    def test_empty_registry(self):
+        assert summary(MetricsRegistry()) == "(no metrics recorded)"

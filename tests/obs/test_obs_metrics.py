@@ -1,0 +1,175 @@
+"""Metrics core: gating, label semantics, thread-safety, quantile exactness."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.metrics import SAMPLE_WINDOW, MetricsRegistry
+
+
+class TestGate:
+    def test_disabled_counter_records_nothing(self):
+        c = obs.Counter()
+        c.inc()
+        assert c.value == 0
+
+    def test_enabled_counter_records(self):
+        obs.enable()
+        c = obs.Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_always_counter_ignores_gate(self):
+        assert not obs.enabled()
+        c = obs.Counter(always=True)
+        c.inc(4)
+        assert c.value == 4
+
+    def test_gauge_and_histogram_gated(self):
+        g, h = obs.Gauge(), obs.Histogram()
+        g.set(7)
+        h.observe(0.5)
+        assert g.value == 0 and h.count == 0
+        obs.enable()
+        g.set(7)
+        h.observe(0.5)
+        assert g.value == 7 and h.count == 1
+
+    def test_counter_rejects_negative(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            obs.Counter().inc(-1)
+
+
+class TestFamilies:
+    def test_labeled_series_are_independent(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("events_total", "events", labels=("kind",), always=True)
+        fam.labels(kind="a").inc()
+        fam.labels(kind="a").inc()
+        fam.labels(kind="b").inc(5)
+        assert fam.labels(kind="a").value == 2
+        assert fam.labels(kind="b").value == 5
+        assert fam.value == 7
+
+    def test_same_name_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total") is reg.counter("x_total")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total")
+
+    def test_wrong_label_count_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("y_total", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            fam.labels("only-one")
+
+    def test_invalid_metric_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("1leading")
+
+    def test_reset_zeroes_series_keeps_registration(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("z_total", labels=("k",), always=True)
+        fam.labels(k="x").inc(3)
+        reg.reset()
+        assert fam.labels(k="x").value == 0
+        assert reg.get("z_total") is fam
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_lose_no_increments(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hammer_total", labels=("worker",), always=True)
+        hist = reg.histogram("hammer_seconds", always=True)
+        n_threads, per_thread = 8, 2000
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            series = fam.labels(worker=str(worker % 2))
+            for i in range(per_thread):
+                series.inc()
+                hist.observe(i * 1e-6)
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert fam.value == n_threads * per_thread
+        assert hist.count == n_threads * per_thread
+
+    def test_concurrent_series_creation_is_single_instance(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("race_total", labels=("k",), always=True)
+        barrier = threading.Barrier(8)
+        seen = []
+
+        def create() -> None:
+            barrier.wait()
+            seen.append(fam.labels(k="same"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(s is seen[0] for s in seen)
+
+
+class TestHistogramQuantiles:
+    def test_quantiles_match_numpy_percentiles(self):
+        rng = np.random.default_rng(7)
+        samples = rng.exponential(scale=0.01, size=1000)
+        h = obs.Histogram(always=True)
+        for s in samples:
+            h.observe(s)
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            np.testing.assert_allclose(
+                h.quantile(q), np.percentile(samples, q * 100.0),
+                rtol=1e-12, atol=0.0,
+            )
+
+    def test_quantile_window_keeps_newest(self):
+        h = obs.Histogram(always=True, window=16)
+        for v in range(100):
+            h.observe(float(v))
+        # only the last 16 samples (84..99) are retained
+        assert h.quantile(0.0) == 84.0
+        assert h.quantile(1.0) == 99.0
+        assert h.count == 100  # bucket counts are never windowed
+
+    def test_default_window_size(self):
+        assert SAMPLE_WINDOW == 4096
+
+    def test_bucket_counts_cumulative(self):
+        h = obs.Histogram(buckets=(1.0, 2.0, 5.0), always=True)
+        for v in (0.5, 1.5, 1.7, 3.0, 100.0):
+            h.observe(v)
+        buckets = dict(h.buckets())
+        assert buckets[1.0] == 1
+        assert buckets[2.0] == 3
+        assert buckets[5.0] == 4
+        assert buckets[float("inf")] == 5
+        assert h.sum == pytest.approx(106.7)
+
+    def test_empty_quantile_is_nan(self):
+        assert np.isnan(obs.Histogram(always=True).quantile(0.5))
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            obs.Histogram(always=True).quantile(1.5)

@@ -358,3 +358,31 @@ class TestConcurrentConsistency:
         service.close()
         assert not mismatches, f"point reads observed torn scores: {mismatches[:1]}"
         assert service.stats()["snapshot_version"] == 20
+
+
+class TestStatsSnapshot:
+    """stats() is an immutable point-in-time copy, not a live mutable view."""
+
+    def test_mutating_snapshot_raises_and_counters_survive(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        scorer, _ = _scorer_for(normalized)
+        service = ScoringService(scorer, max_batch_size=8)
+        service.score_rows(np.arange(8))
+        snap = service.stats()
+        assert snap["requests"] == 8
+        with pytest.raises(TypeError):
+            snap["requests"] = 0
+        with pytest.raises(TypeError):
+            del snap["requests"]
+        assert service.stats()["requests"] == 8
+
+    def test_snapshot_is_point_in_time(self, single_join_dense):
+        _, normalized, _ = single_join_dense
+        scorer, _ = _scorer_for(normalized)
+        service = ScoringService(scorer, max_batch_size=8)
+        service.score_rows(np.arange(8))
+        before = service.stats()
+        frozen = dict(before)
+        service.score_rows(np.arange(8))
+        assert dict(before) == frozen, "stats() returned a live view"
+        assert service.stats()["requests"] == frozen["requests"] + 8
